@@ -1,0 +1,175 @@
+// Command bankaware-sim drives the detailed full-system simulation: one
+// workload set under one policy, the full Fig. 8 / Fig. 9 sweep over the
+// paper's eight Table III sets, or the Table III way-assignment dump.
+//
+// Examples:
+//
+//	bankaware-sim -set 6 -policy bankaware -show-allocation
+//	bankaware-sim -workloads sixtrack,art,gzip,mcf,crafty,swim,mesa,equake -policy none
+//	bankaware-sim -fig8
+//	bankaware-sim -table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bankaware/internal/core"
+	"bankaware/internal/experiments"
+	"bankaware/internal/sim"
+	"bankaware/internal/trace"
+)
+
+func main() {
+	var (
+		cfgPath   = flag.String("config", "", "JSON run-config file (overrides the other selection flags)")
+		setIdx    = flag.Int("set", 0, "Table III set number (1-8)")
+		workloads = flag.String("workloads", "", "comma-separated list of 8 catalog workloads (alternative to -set)")
+		policy    = flag.String("policy", "bankaware", "partitioning policy: none|equal|bankaware")
+		instr     = flag.Uint64("instructions", 0, "per-core instruction budget (0 = scale default)")
+		scaleName = flag.String("scale", "model", "machine scale: model (1/16) or full (Table I)")
+		fig8      = flag.Bool("fig8", false, "run all eight Table III sets under all policies (Figs. 8 and 9)")
+		table3    = flag.Bool("table3", false, "print the bank-aware way assignments for the Table III sets")
+		showAlloc = flag.Bool("show-allocation", false, "print the final physical allocation (Fig. 5 style)")
+		list      = flag.Bool("list", false, "list catalog workloads")
+		csvPath   = flag.String("csv", "", "with -fig8: also write per-set rows to this CSV file")
+		markdown  = flag.Bool("markdown", false, "with -fig8: also print a Markdown table")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range trace.CatalogNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *cfgPath != "" {
+		rc, err := experiments.LoadRunConfig(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, p, specs, budget, err := rc.Build()
+		if err != nil {
+			fatal(err)
+		}
+		sys, err := sim.New(cfg, p, specs)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.Run(budget / 2); err != nil {
+			fatal(err)
+		}
+		sys.ResetStats()
+		if err := sys.Run(budget); err != nil {
+			fatal(err)
+		}
+		fmt.Print(sys.Result(rc.Workloads).String())
+		if *showAlloc {
+			fmt.Println("\nfinal allocation:")
+			fmt.Print(sys.Allocation().String())
+		}
+		return
+	}
+
+	scale := experiments.ScaleModel
+	switch *scaleName {
+	case "model":
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	budget := *instr
+	if budget == 0 {
+		budget = scale.DefaultInstructions()
+	}
+
+	switch {
+	case *table3:
+		rows, err := experiments.TableIIIAssignments()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatTableIII(rows))
+		return
+	case *fig8:
+		r, err := experiments.RunFig8Fig9(scale, budget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Relative miss rate and CPI vs No-partitions (Figs. 8 and 9):")
+		fmt.Print(r.String())
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteFig8CSV(f, r); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote CSV to %s\n", *csvPath)
+		}
+		if *markdown {
+			fmt.Println()
+			if err := experiments.WriteFig8Markdown(os.Stdout, r); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	names := resolveWorkloads(*setIdx, *workloads)
+	p, err := core.PolicyByName(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	specs := make([]trace.Spec, len(names))
+	for i, n := range names {
+		s, err := trace.SpecByName(n)
+		if err != nil {
+			fatal(err)
+		}
+		specs[i] = s
+	}
+	sys, err := sim.New(scale.Config(), p, specs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.Run(budget / 2); err != nil {
+		fatal(err)
+	}
+	sys.ResetStats()
+	if err := sys.Run(budget); err != nil {
+		fatal(err)
+	}
+	fmt.Print(sys.Result(names).String())
+	if *showAlloc {
+		fmt.Println("\nfinal allocation:")
+		fmt.Print(sys.Allocation().String())
+	}
+}
+
+func resolveWorkloads(set int, csv string) []string {
+	if csv != "" {
+		names := strings.Split(csv, ",")
+		if len(names) != 8 {
+			fatal(fmt.Errorf("need exactly 8 workloads, got %d", len(names)))
+		}
+		return names
+	}
+	if set < 1 || set > len(experiments.TableIIISets) {
+		fatal(fmt.Errorf("pass -set 1..8 or -workloads (see -list)"))
+	}
+	return experiments.TableIIISets[set-1][:]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bankaware-sim:", err)
+	os.Exit(1)
+}

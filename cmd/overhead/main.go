@@ -1,0 +1,56 @@
+// Command overhead evaluates the Table II hardware-overhead model of the
+// proposed MSA profiler implementation and compares against the paper's
+// reported values.
+//
+//	overhead
+//	overhead -tagbits 16 -samplelog2 4
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"bankaware/internal/experiments"
+	"bankaware/internal/msa"
+)
+
+func main() {
+	var (
+		tagBits   = flag.Int("tagbits", 12, "partial tag width in bits")
+		ways      = flag.Int("ways", 72, "maximum assignable ways (9/16 of 128)")
+		sampled   = flag.Int("sampledsets", 64, "profiled sets (2048 / sampling rate)")
+		ptrBits   = flag.Int("ptrbits", 6, "LRU stack pointer width in bits")
+		profilers = flag.Int("profilers", 8, "per-core profilers on chip")
+	)
+	flag.Parse()
+
+	if isDefault() {
+		rows, pct := experiments.TableII()
+		fmt.Println("MSA profiler hardware overhead (Table II):")
+		fmt.Printf("%-30s %10s %12s\n", "structure", "kbits", "paper kbits")
+		total := 0.0
+		for _, r := range rows {
+			fmt.Printf("%-30s %10.2f %12.2f\n", r.Structure, r.Kbits, r.PaperKbit)
+			total += r.Kbits
+		}
+		fmt.Printf("%-30s %10.2f\n", "total per profiler", total)
+		fmt.Printf("chip overhead (%d profilers): %.3f%% of the 16 MB LLC (paper: ~0.4%%)\n", 8, pct)
+		return
+	}
+
+	cfg := msa.BaselineOverhead()
+	cfg.TagBits = *tagBits
+	cfg.Ways = *ways
+	cfg.SampledSets = *sampled
+	cfg.LRUPointerBits = *ptrBits
+	cfg.Profilers = *profilers
+	o := msa.ComputeOverhead(cfg)
+	fmt.Println(o.String())
+	fmt.Printf("chip overhead: %.3f%% of the LLC\n", msa.PercentOfCache(cfg))
+}
+
+func isDefault() bool {
+	visited := false
+	flag.Visit(func(*flag.Flag) { visited = true })
+	return !visited
+}

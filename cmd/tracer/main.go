@@ -1,0 +1,95 @@
+// Command tracer records, inspects and profiles access traces — the
+// trace-driven methodology Mattson's algorithm was built for. Traces are
+// gzip-compressed, delta-encoded binary files (see internal/trace).
+//
+//	tracer -record gzip.trace.gz -workload gzip -accesses 1000000
+//	tracer -info gzip.trace.gz
+//	tracer -curve gzip.trace.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bankaware/internal/msa"
+	"bankaware/internal/stats"
+	"bankaware/internal/textplot"
+	"bankaware/internal/trace"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "record a catalog workload to this trace file")
+		workload = flag.String("workload", "gzip", "catalog workload to record")
+		accesses = flag.Int("accesses", 1_000_000, "events to record")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		bpw      = flag.Int("blocksperway", trace.DefaultBlocksPerWay, "blocks per way-equivalent")
+		info     = flag.String("info", "", "print summary statistics of a trace file")
+		curve    = flag.String("curve", "", "profile a trace file and print its miss-ratio curve")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		spec, err := trace.SpecByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := trace.NewGenerator(spec, stats.NewRNG(*seed, *seed^0xabcd), trace.GeneratorConfig{BlocksPerWay: *bpw})
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteTraceFile(*record, g, *accesses); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d events of %s to %s\n", *accesses, *workload, *record)
+
+	case *info != "":
+		tr, err := trace.ReadTraceFile(*info)
+		if err != nil {
+			fatal(err)
+		}
+		writes, gaps := 0, 0
+		seen := map[trace.Addr]bool{}
+		for i := 0; i < tr.Len(); i++ {
+			ev := tr.Event(i)
+			if ev.Access.Write {
+				writes++
+			}
+			gaps += ev.Gap
+			seen[ev.Access.Addr] = true
+		}
+		n := float64(tr.Len())
+		fmt.Printf("events:          %d\n", tr.Len())
+		fmt.Printf("distinct blocks: %d (%.1f KiB footprint)\n", len(seen), float64(len(seen))*64/1024)
+		fmt.Printf("write fraction:  %.3f\n", float64(writes)/n)
+		fmt.Printf("mean gap:        %.2f instructions\n", float64(gaps)/n)
+
+	case *curve != "":
+		tr, err := trace.ReadTraceFile(*curve)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := msa.NewProfiler(msa.Config{Sets: *bpw, MaxWays: 72})
+		if err != nil {
+			fatal(err)
+		}
+		s := tr.Stream()
+		for i := 0; i < tr.Len(); i++ {
+			p.Access(s.Next().Access.Addr)
+		}
+		ratios := p.MissRatioCurve()
+		fmt.Println("projected miss-ratio curve (exact profiler, 72-way cap):")
+		fmt.Print(textplot.Chart([]textplot.Series{{Name: *curve, Points: ratios}}, 90, 16))
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracer:", err)
+	os.Exit(1)
+}

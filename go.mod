@@ -1,0 +1,3 @@
+module bankaware
+
+go 1.22

@@ -1,0 +1,474 @@
+// Package cache implements the physical cache-bank substrate: set-
+// associative banks with true-LRU replacement and the vertical, fine-grain
+// way-partitioning mechanism of Section III.B of the paper (after Iyer's
+// CQoS). Each cache way of a bank belongs to one or more cores; on a miss,
+// a modified LRU policy selects the victim among the ways belonging to the
+// requesting core only, so different cores' partitions cannot destructively
+// interfere. All sets of a bank share the same way assignment, so partition
+// granularity within a bank is a whole way — exactly the restriction the
+// bank-aware allocator is designed around.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bankaware/internal/trace"
+)
+
+// MaxCores bounds the owner bitmask width. The baseline system has 8 cores;
+// 16 leaves headroom for the scaled-up configurations in the ablations.
+const MaxCores = 16
+
+// OwnerMask is a bitset of cores allowed to allocate into a way.
+type OwnerMask uint16
+
+// AllCores returns the mask covering cores [0, n).
+func AllCores(n int) OwnerMask {
+	if n >= MaxCores {
+		return OwnerMask(1<<MaxCores - 1)
+	}
+	return OwnerMask(1<<n - 1)
+}
+
+// Has reports whether core is in the mask.
+func (m OwnerMask) Has(core int) bool { return m&(1<<core) != 0 }
+
+// With returns the mask with core added.
+func (m OwnerMask) With(core int) OwnerMask { return m | 1<<core }
+
+// Count returns the number of cores in the mask.
+func (m OwnerMask) Count() int { return bits.OnesCount16(uint16(m)) }
+
+// Config describes one physical cache bank.
+type Config struct {
+	Sets int // number of sets; must be a power of two
+	Ways int // associativity
+	// Replacement selects the victim policy; the zero value is true LRU.
+	Replacement ReplacementPolicy
+	// StrictLookup restricts hits to the requester's own ways — the
+	// literal reading of the paper's "only cache-ways that belong to a
+	// specific core ... can be accessed". The default (false) hits
+	// anywhere and enforces ownership on allocation only, the UCP/CQoS
+	// behaviour: after a repartition, a core keeps hitting its blocks in
+	// ways it just lost until they age out. Strict mode forfeits those
+	// blocks immediately (the re-fetch also invalidates the stale copy so
+	// a set never holds duplicates); the strict-lookup ablation quantifies
+	// the repartitioning cost difference.
+	StrictLookup bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 || c.Ways > 255 {
+		return fmt.Errorf("cache: ways must be in [1,255], got %d", c.Ways)
+	}
+	switch c.Replacement {
+	case LRU:
+	case TreePLRU:
+		if err := validatePLRU(c.Ways); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("cache: unknown replacement policy %d", c.Replacement)
+	}
+	return nil
+}
+
+// Blocks returns the bank's capacity in cache blocks.
+func (c Config) Blocks() int { return c.Sets * c.Ways }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	owner uint8 // core that allocated the line
+}
+
+type cacheSet struct {
+	lines []line
+	// order holds way indices from MRU (front) to LRU (back).
+	order []uint8
+}
+
+// Result reports the outcome of a bank access.
+type Result struct {
+	Hit bool
+	// HitWay is the way that hit (valid only when Hit).
+	HitWay int
+	// CrossPartitionHit is set when the hit landed in a way the requesting
+	// core does not currently own — possible right after repartitioning,
+	// since enforcement is on allocation, not lookup.
+	CrossPartitionHit bool
+	// Victim describes an evicted valid line (on a miss that displaced one).
+	VictimValid bool
+	VictimAddr  trace.Addr
+	VictimDirty bool
+	VictimOwner int
+}
+
+// Stats aggregates bank activity.
+type Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Writebacks    uint64
+	CrossHits     uint64
+	PerCoreAccess [MaxCores]uint64
+	PerCoreMiss   [MaxCores]uint64
+}
+
+// MissRatio returns misses/accesses.
+func (s *Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Bank is one physical cache bank with way-partitioned LRU replacement.
+type Bank struct {
+	cfg      Config
+	sets     []cacheSet
+	wayOwner []OwnerMask
+	setMask  uint64
+	stats    Stats
+	plru     *plruState // non-nil when cfg.Replacement == TreePLRU
+}
+
+// NewBank builds a bank; every way initially belongs to all cores (shared,
+// non-partitioned operation).
+func NewBank(cfg Config) (*Bank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Bank{
+		cfg:      cfg,
+		sets:     make([]cacheSet, cfg.Sets),
+		wayOwner: make([]OwnerMask, cfg.Ways),
+		setMask:  uint64(cfg.Sets - 1),
+	}
+	lines := make([]line, cfg.Sets*cfg.Ways)
+	order := make([]uint8, cfg.Sets*cfg.Ways)
+	for i := range b.sets {
+		b.sets[i].lines = lines[i*cfg.Ways : (i+1)*cfg.Ways]
+		b.sets[i].order = order[i*cfg.Ways : (i+1)*cfg.Ways]
+		for w := 0; w < cfg.Ways; w++ {
+			b.sets[i].order[w] = uint8(w)
+		}
+	}
+	all := AllCores(MaxCores)
+	for w := range b.wayOwner {
+		b.wayOwner[w] = all
+	}
+	if cfg.Replacement == TreePLRU {
+		b.plru = newPLRUState(cfg.Sets, cfg.Ways)
+		b.plru.rebuildOwnership(b.wayOwner)
+	}
+	return b, nil
+}
+
+// MustBank is NewBank that panics on invalid configuration.
+func MustBank(cfg Config) *Bank {
+	b, err := NewBank(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Config returns the bank geometry.
+func (b *Bank) Config() Config { return b.cfg }
+
+// Stats returns a snapshot of the bank's counters.
+func (b *Bank) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the counters (partition state is untouched).
+func (b *Bank) ResetStats() { b.stats = Stats{} }
+
+// SetWayOwners installs a new per-way ownership assignment. The slice must
+// have exactly Ways entries; a zero mask makes the way unallocatable (legal:
+// the allocator may park ways during reconfiguration).
+func (b *Bank) SetWayOwners(owners []OwnerMask) error {
+	if len(owners) != b.cfg.Ways {
+		return fmt.Errorf("cache: got %d way owners for %d ways", len(owners), b.cfg.Ways)
+	}
+	copy(b.wayOwner, owners)
+	if b.plru != nil {
+		b.plru.rebuildOwnership(b.wayOwner)
+	}
+	return nil
+}
+
+// WayOwners returns a copy of the current ownership assignment.
+func (b *Bank) WayOwners() []OwnerMask {
+	return append([]OwnerMask(nil), b.wayOwner...)
+}
+
+// OwnedWays returns how many ways core may allocate into.
+func (b *Bank) OwnedWays(core int) int {
+	n := 0
+	for _, m := range b.wayOwner {
+		if m.Has(core) {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *Bank) decompose(addr trace.Addr) (set uint64, tag uint64) {
+	blk := uint64(addr) >> trace.BlockBits
+	return blk & b.setMask, blk >> uint(bits.TrailingZeros64(uint64(b.cfg.Sets)))
+}
+
+func (b *Bank) compose(set, tag uint64) trace.Addr {
+	blk := tag<<uint(bits.TrailingZeros64(uint64(b.cfg.Sets))) | set
+	return trace.Addr(blk << trace.BlockBits)
+}
+
+// Access performs a read or write by core. On a hit the line moves to MRU
+// (and is dirtied on writes). On a miss the block is allocated into the
+// least recently used way owned by core, evicting its previous occupant.
+// Access panics if core owns no ways — the partitioning layer must never
+// let that happen (there is a test pinning that contract).
+func (b *Bank) Access(addr trace.Addr, core int, write bool) Result {
+	if core < 0 || core >= MaxCores {
+		panic(fmt.Sprintf("cache: core %d out of range", core))
+	}
+	b.stats.Accesses++
+	b.stats.PerCoreAccess[core]++
+	si, tag := b.decompose(addr)
+	s := &b.sets[si]
+
+	// Lookup: by default across all ways (enforcement is on allocation
+	// only); in strict mode only the requester's ways are visible.
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			cross := !b.wayOwner[w].Has(core)
+			if cross && b.cfg.StrictLookup {
+				continue
+			}
+			b.stats.Hits++
+			if write {
+				s.lines[w].dirty = true
+			}
+			b.useWay(si, s, w)
+			if cross {
+				b.stats.CrossHits++
+			}
+			return Result{Hit: true, HitWay: w, CrossPartitionHit: cross}
+		}
+	}
+
+	b.stats.Misses++
+	b.stats.PerCoreMiss[core]++
+	if b.cfg.StrictLookup {
+		// Drop any stale copy in ways the requester cannot see, so the
+		// refill never duplicates the tag within the set.
+		for w := range s.lines {
+			if s.lines[w].valid && s.lines[w].tag == tag {
+				s.lines[w] = line{}
+			}
+		}
+	}
+	victim := b.victimWay(si, s, core)
+	if victim < 0 {
+		panic(fmt.Sprintf("cache: core %d owns no ways in bank", core))
+	}
+	res := Result{}
+	vl := &s.lines[victim]
+	if vl.valid {
+		b.stats.Evictions++
+		res.VictimValid = true
+		res.VictimAddr = b.compose(si, vl.tag)
+		res.VictimDirty = vl.dirty
+		res.VictimOwner = int(vl.owner)
+		if vl.dirty {
+			b.stats.Writebacks++
+		}
+	}
+	*vl = line{tag: tag, valid: true, dirty: write, owner: uint8(core)}
+	b.useWay(si, s, victim)
+	return res
+}
+
+// victimWay picks the way to fill for core: an invalid owned way if one
+// exists, otherwise the (pseudo-)least-recently-used owned way. Returns -1
+// when the core owns nothing.
+func (b *Bank) victimWay(si uint64, s *cacheSet, core int) int {
+	for w := range s.lines {
+		if !s.lines[w].valid && b.wayOwner[w].Has(core) {
+			return w
+		}
+	}
+	if b.plru != nil {
+		return b.plru.victim(int(si), core)
+	}
+	for i := len(s.order) - 1; i >= 0; i-- {
+		w := int(s.order[i])
+		if b.wayOwner[w].Has(core) {
+			return w
+		}
+	}
+	return -1
+}
+
+// useWay records a reference to way w of set si in the replacement state.
+func (b *Bank) useWay(si uint64, s *cacheSet, w int) {
+	s.touch(w)
+	if b.plru != nil {
+		b.plru.touch(int(si), w)
+	}
+}
+
+// touch moves way w to the MRU position of the set's order.
+func (s *cacheSet) touch(w int) {
+	pos := -1
+	for i, o := range s.order {
+		if int(o) == w {
+			pos = i
+			break
+		}
+	}
+	if pos <= 0 {
+		if pos == 0 {
+			return
+		}
+		panic("cache: way missing from LRU order")
+	}
+	copy(s.order[1:pos+1], s.order[:pos])
+	s.order[0] = uint8(w)
+}
+
+// Insert allocates addr into core's partition as MRU without counting an
+// access — the data-movement primitive used by the aggregation schemes'
+// migration paths (cascade demotion, promotion fills). It returns eviction
+// information exactly like Access. Inserting a block that is already
+// resident refreshes it instead of duplicating it.
+func (b *Bank) Insert(addr trace.Addr, core int, dirty bool) Result {
+	si, tag := b.decompose(addr)
+	s := &b.sets[si]
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			if dirty {
+				s.lines[w].dirty = true
+			}
+			b.useWay(si, s, w)
+			return Result{Hit: true, HitWay: w}
+		}
+	}
+	victim := b.victimWay(si, s, core)
+	if victim < 0 {
+		panic(fmt.Sprintf("cache: core %d owns no ways in bank", core))
+	}
+	res := Result{}
+	vl := &s.lines[victim]
+	if vl.valid {
+		b.stats.Evictions++
+		res.VictimValid = true
+		res.VictimAddr = b.compose(si, vl.tag)
+		res.VictimDirty = vl.dirty
+		res.VictimOwner = int(vl.owner)
+		if vl.dirty {
+			b.stats.Writebacks++
+		}
+	}
+	*vl = line{tag: tag, valid: true, dirty: dirty, owner: uint8(core)}
+	b.useWay(si, s, victim)
+	return res
+}
+
+// Probe reports whether addr is resident without perturbing LRU state or
+// statistics. The coherence directory and the Parallel aggregation scheme's
+// multi-bank lookup use it.
+func (b *Bank) Probe(addr trace.Addr) bool {
+	si, tag := b.decompose(addr)
+	s := &b.sets[si]
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbeFor is Probe through core's eyes: under StrictLookup only the
+// requester's own ways are visible, matching what a subsequent Access by
+// the same core will see.
+func (b *Bank) ProbeFor(addr trace.Addr, core int) bool {
+	if !b.cfg.StrictLookup {
+		return b.Probe(addr)
+	}
+	si, tag := b.decompose(addr)
+	s := &b.sets[si]
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag && b.wayOwner[w].Has(core) {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr from the bank if present, returning whether it was
+// present and whether it was dirty (needing writeback). Used for inclusive-
+// hierarchy back-invalidation and coherence.
+func (b *Bank) Invalidate(addr trace.Addr) (present, dirty bool) {
+	si, tag := b.decompose(addr)
+	s := &b.sets[si]
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			d := s.lines[w].dirty
+			s.lines[w] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// ExtractLRUOf removes the least recently used valid line allocated by core
+// from the set that addr maps to, returning its address and dirtiness. The
+// Cascade aggregation scheme uses it to demote lines down the bank chain;
+// ok is false when the core has no valid lines in that set.
+func (b *Bank) ExtractLRUOf(addr trace.Addr, core int) (victim trace.Addr, dirty, ok bool) {
+	si, _ := b.decompose(addr)
+	s := &b.sets[si]
+	for i := len(s.order) - 1; i >= 0; i-- {
+		w := int(s.order[i])
+		if s.lines[w].valid && int(s.lines[w].owner) == core {
+			v := s.lines[w]
+			s.lines[w] = line{}
+			return b.compose(si, v.tag), v.dirty, true
+		}
+	}
+	return 0, false, false
+}
+
+// Occupancy returns the number of valid lines currently owned by each core.
+func (b *Bank) Occupancy() [MaxCores]int {
+	var occ [MaxCores]int
+	for i := range b.sets {
+		for _, ln := range b.sets[i].lines {
+			if ln.valid {
+				occ[ln.owner]++
+			}
+		}
+	}
+	return occ
+}
+
+// ValidLines returns the total number of valid lines in the bank.
+func (b *Bank) ValidLines() int {
+	n := 0
+	for i := range b.sets {
+		for _, ln := range b.sets[i].lines {
+			if ln.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package cache
+
+import "bankaware/internal/trace"
+
+// MSHR models a miss-status holding register file: it bounds the number of
+// outstanding misses and merges requests to a block that is already being
+// fetched (secondary misses), as the baseline system's "16 outstanding
+// requests / core" (Table I) demands.
+type MSHR struct {
+	capacity int
+	pending  map[trace.Addr][]uint64 // block -> ids of merged waiters
+	merges   uint64
+	rejects  uint64
+}
+
+// NewMSHR returns an MSHR file with the given number of entries.
+func NewMSHR(capacity int) *MSHR {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MSHR{capacity: capacity, pending: make(map[trace.Addr][]uint64, capacity)}
+}
+
+// Outcome of an Allocate call.
+type Outcome int
+
+const (
+	// Primary: a new entry was allocated; the caller must issue the fill.
+	Primary Outcome = iota
+	// Merged: the block is already in flight; the waiter was recorded.
+	Merged
+	// Full: no entry available; the requester must stall and retry.
+	Full
+)
+
+// Allocate requests an entry for block addr on behalf of waiter id.
+func (m *MSHR) Allocate(addr trace.Addr, waiter uint64) Outcome {
+	if ws, ok := m.pending[addr]; ok {
+		m.pending[addr] = append(ws, waiter)
+		m.merges++
+		return Merged
+	}
+	if len(m.pending) >= m.capacity {
+		m.rejects++
+		return Full
+	}
+	m.pending[addr] = []uint64{waiter}
+	return Primary
+}
+
+// Complete retires the entry for addr and returns the waiters that were
+// merged into it (including the primary). Completing an absent address
+// returns nil.
+func (m *MSHR) Complete(addr trace.Addr) []uint64 {
+	ws, ok := m.pending[addr]
+	if !ok {
+		return nil
+	}
+	delete(m.pending, addr)
+	return ws
+}
+
+// InFlight reports whether addr has an outstanding fill.
+func (m *MSHR) InFlight(addr trace.Addr) bool {
+	_, ok := m.pending[addr]
+	return ok
+}
+
+// Used returns the number of occupied entries.
+func (m *MSHR) Used() int { return len(m.pending) }
+
+// Capacity returns the total number of entries.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Full reports whether no entries are free.
+func (m *MSHR) IsFull() bool { return len(m.pending) >= m.capacity }
+
+// Merges returns how many secondary misses were merged.
+func (m *MSHR) Merges() uint64 { return m.merges }
+
+// Rejects returns how many allocations failed for lack of entries.
+func (m *MSHR) Rejects() uint64 { return m.rejects }

@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"testing"
+
+	"bankaware/internal/stats"
+	"bankaware/internal/trace"
+)
+
+func TestPLRUConfigValidation(t *testing.T) {
+	good := Config{Sets: 4, Ways: 8, Replacement: TreePLRU}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid PLRU config rejected: %v", err)
+	}
+	for _, ways := range []int{1, 3, 6, 64} {
+		c := Config{Sets: 4, Ways: ways, Replacement: TreePLRU}
+		if err := c.Validate(); err == nil {
+			t.Errorf("TreePLRU with %d ways accepted", ways)
+		}
+	}
+	if err := (Config{Sets: 4, Ways: 8, Replacement: ReplacementPolicy(9)}).Validate(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestReplacementPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || TreePLRU.String() != "TreePLRU" {
+		t.Fatal("policy strings wrong")
+	}
+	if ReplacementPolicy(7).String() == "" {
+		t.Fatal("unknown policy should still render")
+	}
+}
+
+func TestPLRUBasicHitMiss(t *testing.T) {
+	b := MustBank(Config{Sets: 2, Ways: 4, Replacement: TreePLRU})
+	a := blockAddr(0, 5, 2)
+	if b.Access(a, 0, false).Hit {
+		t.Fatal("cold access hit")
+	}
+	if !b.Access(a, 0, false).Hit {
+		t.Fatal("warm access missed")
+	}
+}
+
+func TestPLRUNeverEvictsJustUsed(t *testing.T) {
+	// Tree-PLRU guarantees the most recently used way is never the victim.
+	b := MustBank(Config{Sets: 1, Ways: 8, Replacement: TreePLRU})
+	rng := stats.NewRNG(6, 6)
+	var last trace.Addr
+	for i := 0; i < 5000; i++ {
+		a := blockAddr(0, uint64(rng.IntN(64)), 1)
+		res := b.Access(a, 0, false)
+		if res.VictimValid && res.VictimAddr == last {
+			t.Fatalf("access %d evicted the immediately preceding block", i)
+		}
+		last = a
+	}
+}
+
+func TestPLRUWorkingSetRetention(t *testing.T) {
+	// A working set equal to the associativity must be fully retained
+	// under cyclic access (PLRU, like LRU, keeps an 8-block loop in an
+	// 8-way set).
+	b := MustBank(Config{Sets: 1, Ways: 8, Replacement: TreePLRU})
+	for round := 0; round < 10; round++ {
+		for tag := uint64(0); tag < 8; tag++ {
+			res := b.Access(blockAddr(0, tag, 1), 0, false)
+			if round > 0 && !res.Hit {
+				t.Fatalf("round %d: block %d missed", round, tag)
+			}
+		}
+	}
+}
+
+func TestPLRUPartitionIsolation(t *testing.T) {
+	// Way masking under PLRU: core 1's thrashing must not evict core 0's
+	// lines, exactly as with true LRU.
+	b := MustBank(Config{Sets: 2, Ways: 8, Replacement: TreePLRU})
+	owners := make([]OwnerMask, 8)
+	for w := range owners {
+		if w < 4 {
+			owners[w] = 0b01
+		} else {
+			owners[w] = 0b10
+		}
+	}
+	if err := b.SetWayOwners(owners); err != nil {
+		t.Fatal(err)
+	}
+	kept := []trace.Addr{blockAddr(0, 1, 2), blockAddr(0, 2, 2), blockAddr(0, 3, 2)}
+	for _, a := range kept {
+		b.Access(a, 0, false)
+	}
+	for tag := uint64(100); tag < 200; tag++ {
+		b.Access(blockAddr(0, tag, 2), 1, false)
+	}
+	for _, a := range kept {
+		if !b.Probe(a) {
+			t.Fatalf("core 0 line %#x evicted by core 1 under PLRU", a)
+		}
+	}
+}
+
+func TestPLRUVictimAlwaysOwned(t *testing.T) {
+	// Property: under random partitions and traffic, the evicted line's
+	// way always belongs to the requester.
+	rng := stats.NewRNG(17, 18)
+	for trial := 0; trial < 20; trial++ {
+		b := MustBank(Config{Sets: 4, Ways: 8, Replacement: TreePLRU})
+		owners := make([]OwnerMask, 8)
+		for w := range owners {
+			owners[w] = OwnerMask(1 << uint(rng.IntN(3))) // cores 0..2
+		}
+		b.SetWayOwners(owners)
+		for i := 0; i < 2000; i++ {
+			core := rng.IntN(3)
+			if b.OwnedWays(core) == 0 {
+				continue
+			}
+			a := blockAddr(uint64(rng.IntN(4)), uint64(rng.IntN(128)), 4)
+			res := b.Access(a, core, false)
+			if res.Hit || !res.VictimValid {
+				continue
+			}
+			if !owners[res.HitWay].Has(core) && res.HitWay != 0 {
+				// HitWay is only meaningful on hits; verify via occupancy
+				// instead below.
+				_ = res
+			}
+		}
+		// Occupancy may not exceed owned ways per core.
+		occ := b.Occupancy()
+		for c := 0; c < 3; c++ {
+			if occ[c] > b.OwnedWays(c)*4 {
+				t.Fatalf("trial %d: core %d occupies %d lines with %d owned ways",
+					trial, c, occ[c], b.OwnedWays(c))
+			}
+		}
+	}
+}
+
+func TestPLRUApproximatesLRUMissRatio(t *testing.T) {
+	// On stack-distance traffic, tree-PLRU's miss ratio should track true
+	// LRU within a few percent — the reason the paper's LRU assumption is
+	// benign.
+	spec := trace.Spec{
+		Name:     "plru-probe",
+		HitMass:  []float64{0.3, 0.25, 0.2, 0.1},
+		ColdFrac: 0.15,
+		MemPerKI: 100,
+	}
+	run := func(pol ReplacementPolicy) float64 {
+		b := MustBank(Config{Sets: 64, Ways: 8, Replacement: pol})
+		g := trace.MustGenerator(spec, stats.NewRNG(44, 55), trace.GeneratorConfig{BlocksPerWay: 128})
+		for i := 0; i < 100_000; i++ {
+			ev := g.Next()
+			b.Access(ev.Access.Addr, 0, ev.Access.Write)
+		}
+		st := b.Stats()
+		return st.MissRatio()
+	}
+	lru, plru := run(LRU), run(TreePLRU)
+	diff := plru - lru
+	if diff < -0.03 || diff > 0.05 {
+		t.Fatalf("PLRU miss ratio %.4f too far from LRU %.4f", plru, lru)
+	}
+}
+
+func TestPLRUVictimNilWhenUnowned(t *testing.T) {
+	b := MustBank(Config{Sets: 1, Ways: 4, Replacement: TreePLRU})
+	b.SetWayOwners([]OwnerMask{0b10, 0b10, 0b10, 0b10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unowned core's miss must panic")
+		}
+	}()
+	b.Access(blockAddr(0, 1, 1), 0, false)
+}

@@ -1,0 +1,133 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bankaware/internal/cache"
+	"bankaware/internal/stats"
+	"bankaware/internal/trace"
+)
+
+// checkInvariants validates the MOESI single-writer / coherent-state rules
+// for every tracked block.
+func checkInvariants(t *testing.T, d *Directory, blocks []trace.Addr) {
+	t.Helper()
+	for _, a := range blocks {
+		writers := 0
+		owners := 0
+		sharers := 0
+		for c := 0; c < cache.MaxCores; c++ {
+			switch d.StateOf(a, c) {
+			case Modified, Exclusive:
+				writers++
+				owners++
+			case Owned:
+				owners++
+			case Shared:
+				sharers++
+			}
+		}
+		if writers > 1 {
+			t.Fatalf("block %#x has %d M/E holders", a, writers)
+		}
+		if owners > 1 {
+			t.Fatalf("block %#x has %d owners", a, owners)
+		}
+		if writers == 1 && sharers > 0 {
+			t.Fatalf("block %#x is M/E with %d sharers", a, sharers)
+		}
+	}
+}
+
+func TestMOESIInvariantsUnderRandomOps(t *testing.T) {
+	// Property: any interleaving of reads, writes, upgrades and evictions
+	// across 8 cores and a small block pool preserves the single-writer
+	// invariant and never leaves an M/E copy coexisting with sharers.
+	run := func(seed uint64) bool {
+		rng := stats.NewRNG(seed, seed^0xfeed)
+		d := NewDirectory()
+		blocks := make([]trace.Addr, 8)
+		for i := range blocks {
+			blocks[i] = trace.Addr(0x4000 + i<<trace.BlockBits)
+		}
+		for op := 0; op < 3000; op++ {
+			c := rng.IntN(8)
+			a := blocks[rng.IntN(len(blocks))]
+			switch rng.IntN(5) {
+			case 0, 1:
+				d.OnReadMiss(c, a)
+			case 2:
+				d.OnWriteMiss(c, a)
+			case 3:
+				if d.StateOf(a, c) == Shared {
+					d.OnUpgrade(c, a)
+				} else {
+					d.OnWriteHitOwner(c, a)
+				}
+			case 4:
+				d.OnL1Evict(c, a)
+			}
+			if op%97 == 0 {
+				checkInvariants(t, d, blocks)
+			}
+		}
+		checkInvariants(t, d, blocks)
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryEntriesBounded(t *testing.T) {
+	// Entries must be reclaimed as blocks are fully evicted — no leak.
+	d := NewDirectory()
+	rng := stats.NewRNG(3, 4)
+	live := map[trace.Addr][]int{}
+	for op := 0; op < 20000; op++ {
+		a := trace.Addr(uint64(rng.IntN(64)) << trace.BlockBits)
+		c := rng.IntN(8)
+		if rng.Bool(0.5) {
+			d.OnReadMiss(c, a)
+			live[a] = appendUnique(live[a], c)
+		} else if holders := live[a]; len(holders) > 0 {
+			h := holders[rng.IntN(len(holders))]
+			d.OnL1Evict(h, a)
+			live[a] = remove(live[a], h)
+			if len(live[a]) == 0 {
+				delete(live, a)
+			}
+		}
+	}
+	if d.Entries() > 64 {
+		t.Fatalf("directory grew to %d entries for a 64-block universe", d.Entries())
+	}
+	// Evict everything: the directory must drain fully.
+	for a, holders := range live {
+		for _, c := range holders {
+			d.OnL1Evict(c, a)
+		}
+	}
+	if d.Entries() != 0 {
+		t.Fatalf("%d entries leaked after full eviction", d.Entries())
+	}
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func remove(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"bankaware/internal/nuca"
+)
+
+// FeedbackPolicy is implemented by policies that accept memory-subsystem
+// feedback from the simulator before each allocation. The epoch controller
+// calls SetFeedback with one weight per core, then Allocate as usual.
+type FeedbackPolicy interface {
+	Policy
+	// SetFeedback installs per-core miss-cost weights for the next
+	// allocation. A weight of 1 means a miss costs this core the baseline
+	// amount; higher weights mark cores whose misses are amplified by
+	// memory-subsystem queueing.
+	SetFeedback(weights []float64)
+}
+
+// BandwidthAwarePolicy extends the Bank-aware scheme in the direction of
+// the authors' follow-up work ("A Bandwidth-aware Memory-subsystem Resource
+// Management...", HPCA 2010): capacity is allocated not by raw miss counts
+// but by miss *cost*. When the DRAM channels saturate, every miss of the
+// congested cores costs extra queueing cycles, so relieving them buys more
+// performance per way than the same miss count on an uncongested core. The
+// policy scales each core's miss curve by its measured miss-cost weight
+// before running the unchanged Fig. 6 bank-aware allocator, preserving all
+// physical placement rules.
+type BandwidthAwarePolicy struct {
+	Config BankAwareConfig
+	// Hysteresis as in BankAwarePolicy.
+	Hysteresis float64
+
+	weights [nuca.NumCores]float64
+	prev    *Allocation
+}
+
+// NewBandwidthAwarePolicy returns the extension with the paper's allocator
+// parameters and neutral weights.
+func NewBandwidthAwarePolicy() *BandwidthAwarePolicy {
+	p := &BandwidthAwarePolicy{Config: DefaultBankAware(), Hysteresis: 0.03}
+	for i := range p.weights {
+		p.weights[i] = 1
+	}
+	return p
+}
+
+// Name implements Policy.
+func (*BandwidthAwarePolicy) Name() string { return "Bandwidth-aware" }
+
+// SetFeedback implements FeedbackPolicy. Weights are clamped to [0.25, 4]
+// so one noisy epoch cannot invert the allocation; missing entries keep
+// their previous value.
+func (p *BandwidthAwarePolicy) SetFeedback(weights []float64) {
+	for i := 0; i < len(weights) && i < nuca.NumCores; i++ {
+		w := weights[i]
+		if w <= 0 {
+			continue
+		}
+		if w < 0.25 {
+			w = 0.25
+		}
+		if w > 4 {
+			w = 4
+		}
+		p.weights[i] = w
+	}
+}
+
+// Weights returns the active per-core weights (for inspection/tests).
+func (p *BandwidthAwarePolicy) Weights() [nuca.NumCores]float64 { return p.weights }
+
+// Allocate implements Policy: scale, allocate, validate, hysteresis.
+func (p *BandwidthAwarePolicy) Allocate(curves []MissCurve) (*Allocation, error) {
+	if len(curves) != nuca.NumCores {
+		return nil, fmt.Errorf("core: bandwidth-aware needs %d curves, got %d", nuca.NumCores, len(curves))
+	}
+	scaled := make([]MissCurve, len(curves))
+	for i, c := range curves {
+		s := make(MissCurve, len(c))
+		for w, v := range c {
+			s[w] = v * p.weights[i]
+		}
+		scaled[i] = s
+	}
+	a, err := BankAwareWithPrev(scaled, p.Config, p.prev)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.ValidateBankAware(); err != nil {
+		return nil, fmt.Errorf("core: bandwidth-aware produced invalid allocation: %w", err)
+	}
+	if p.prev != nil {
+		newM, err1 := ProjectTotalMisses(scaled, a.Ways[:])
+		oldM, err2 := ProjectTotalMisses(scaled, p.prev.Ways[:])
+		if err1 == nil && err2 == nil && oldM <= newM*(1+p.Hysteresis) {
+			return p.prev, nil
+		}
+	}
+	p.prev = a
+	return a, nil
+}

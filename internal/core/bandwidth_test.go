@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"bankaware/internal/nuca"
+)
+
+func TestBandwidthAwareNeutralEqualsBankAware(t *testing.T) {
+	// With unit weights the extension must reproduce the base algorithm.
+	curves := curvesFor("apsi", "galgel", "gcc", "mgrid", "applu", "mesa", "facerec", "gzip")
+	base, err := BankAware(curves, DefaultBankAware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewBandwidthAwarePolicy()
+	got, err := p.Allocate(curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ways != base.Ways {
+		t.Fatalf("neutral weights diverged: %v vs %v", got.Ways, base.Ways)
+	}
+}
+
+func TestBandwidthAwareWeightsShiftCapacity(t *testing.T) {
+	// Two identical capacity-hungry cores: quadrupling one's miss cost
+	// must shift ways toward it.
+	curves := curvesFor("bzip2", "bzip2", "eon", "eon", "eon", "eon", "eon", "eon")
+	p := NewBandwidthAwarePolicy()
+	p.Hysteresis = 0 // compare raw allocations
+	weights := make([]float64, nuca.NumCores)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[1] = 4
+	p.SetFeedback(weights)
+	a, err := p.Allocate(curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ways[1] <= a.Ways[0] {
+		t.Fatalf("weighted core got %d ways vs identical unweighted %d", a.Ways[1], a.Ways[0])
+	}
+	if err := a.ValidateBankAware(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthAwareWeightClamping(t *testing.T) {
+	p := NewBandwidthAwarePolicy()
+	p.SetFeedback([]float64{100, 0.001, -3, 0})
+	w := p.Weights()
+	if w[0] != 4 {
+		t.Fatalf("weight 0 = %v, want clamped 4", w[0])
+	}
+	if w[1] != 0.25 {
+		t.Fatalf("weight 1 = %v, want clamped 0.25", w[1])
+	}
+	if w[2] != 1 || w[3] != 1 {
+		t.Fatalf("non-positive weights should be ignored: %v %v", w[2], w[3])
+	}
+}
+
+func TestBandwidthAwareValidatesInput(t *testing.T) {
+	p := NewBandwidthAwarePolicy()
+	if _, err := p.Allocate(nil); err == nil {
+		t.Fatal("nil curves accepted")
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestBandwidthAwareHysteresisKeepsStableAllocation(t *testing.T) {
+	curves := curvesFor("mesa", "gzip", "gcc", "crafty", "gap", "vortex", "equake", "ammp")
+	p := NewBandwidthAwarePolicy()
+	a1, err := p.Allocate(curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical curves again: hysteresis must return the same allocation
+	// object (no churn).
+	a2, err := p.Allocate(curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("identical epoch replaced a stable allocation")
+	}
+}
+
+// FeedbackPolicy conformance.
+var _ FeedbackPolicy = (*BandwidthAwarePolicy)(nil)

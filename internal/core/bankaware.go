@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+
+	"bankaware/internal/cache"
+	"bankaware/internal/nuca"
+)
+
+// BankAwareConfig parametrises the Bank-aware allocator.
+type BankAwareConfig struct {
+	// MinCoreWays is the floor every core keeps even under heavy
+	// competition (2, matching the smallest Table III assignments).
+	MinCoreWays int
+	// MaxCoreWays caps one core's share. The paper's 9/16 cap is 72 ways =
+	// its Local bank plus all eight Center banks.
+	MaxCoreWays int
+}
+
+// DefaultBankAware returns the paper's parameters.
+func DefaultBankAware() BankAwareConfig {
+	return BankAwareConfig{MinCoreWays: 2, MaxCoreWays: 72}
+}
+
+// Validate reports configuration errors.
+func (c BankAwareConfig) Validate() error {
+	if c.MinCoreWays < 1 || c.MinCoreWays > nuca.WaysPerBank/2 {
+		return fmt.Errorf("core: bank-aware min ways %d outside [1,%d]", c.MinCoreWays, nuca.WaysPerBank/2)
+	}
+	if c.MaxCoreWays < nuca.WaysPerBank {
+		return fmt.Errorf("core: bank-aware cap %d below one bank (%d ways)", c.MaxCoreWays, nuca.WaysPerBank)
+	}
+	return nil
+}
+
+// BankAware runs the allocation algorithm of Fig. 6 on the eight cores'
+// miss curves and returns a physical allocation obeying the three
+// Section III.B rules:
+//
+//  1. Center banks are assigned whole, to a single core.
+//  2. Any core receiving Center banks also receives its full Local bank.
+//  3. Local banks may only be shared — at way granularity — between
+//     adjacent cores.
+//
+// Phase 1 (Boxes 1–3): every core is provisionally credited with its Local
+// bank; the eight Center banks are handed out one at a time to the core
+// with the maximum marginal utility for a whole extra bank. Cores that won
+// Center capacity are complete. Phase 2 (Boxes 4–5): the remaining cores
+// compete for their Local banks way by way; when the max-marginal-utility
+// core wants to grow past its own bank, it must overflow into a
+// neighbour's Local region, so the ideal adjacent pair (minimal combined
+// misses over the jointly optimal 16-way split) is chosen and both cores
+// complete. Pairing is deferred as long as possible, exactly as the paper
+// describes.
+func BankAware(curves []MissCurve, cfg BankAwareConfig) (*Allocation, error) {
+	return BankAwareWithPrev(curves, cfg, nil)
+}
+
+// BankAwareWithPrev is BankAware with placement affinity to a previous
+// allocation: when the logical assignment gives a core Center banks, the
+// banks it already owned are reused before new ones are claimed, so an
+// epoch-to-epoch reallocation that keeps a core's way count does not move
+// (and thereby lose) its cached data. The logical way assignment itself is
+// unaffected.
+func BankAwareWithPrev(curves []MissCurve, cfg BankAwareConfig, prev *Allocation) (*Allocation, error) {
+	if len(curves) != nuca.NumCores {
+		return nil, fmt.Errorf("core: bank-aware needs %d curves, got %d", nuca.NumCores, len(curves))
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 1: Center banks at whole-bank granularity. ----
+	alloc := make([]int, nuca.NumCores)
+	centerCount := make([]int, nuca.NumCores)
+	for c := range alloc {
+		alloc[c] = nuca.WaysPerBank // Local bank provisionally assigned
+	}
+	nCenter := nuca.NumBanks - nuca.NumCores
+	for remaining := nCenter; remaining > 0; {
+		best, bestN := -1, 0
+		bestMU := -1.0
+		for c := 0; c < nuca.NumCores; c++ {
+			room := (cfg.MaxCoreWays - alloc[c]) / nuca.WaysPerBank
+			if room > remaining {
+				room = remaining
+			}
+			if room < 1 {
+				continue
+			}
+			// Lookahead over whole-bank extensions: a cliff several banks
+			// out still registers, and — crucially for all-or-nothing
+			// curves — the winner receives its whole extension at once
+			// (a partial grant below a cliff is pure waste).
+			n, mu := curves[c].BestLookaheadStride(alloc[c], nuca.WaysPerBank, room)
+			if better(mu, n, alloc[c], bestMU, bestN, bestAlloc(best, alloc)) {
+				best, bestN, bestMU = c, n, mu
+			}
+		}
+		if best < 0 {
+			// Every core is at the cap (cannot happen with the baseline
+			// parameters: 8 cores x 72 ways > 128); park the bank with the
+			// smallest core as a safe fallback.
+			for c := 0; c < nuca.NumCores; c++ {
+				if best < 0 || alloc[c] < alloc[best] {
+					best = c
+				}
+			}
+			bestN = 1
+		}
+		alloc[best] += bestN * nuca.WaysPerBank
+		centerCount[best] += bestN
+		remaining -= bestN
+	}
+
+	// ---- Phase 2: Local banks, way granularity, adjacent pairs only. ----
+	inLocal := make([]bool, nuca.NumCores) // still competing in phase 2
+	for c := 0; c < nuca.NumCores; c++ {
+		inLocal[c] = centerCount[c] == 0
+	}
+	lalloc := make([]int, nuca.NumCores)
+	pairedWith := make([]int, nuca.NumCores)
+	for c := range pairedWith {
+		pairedWith[c] = -1
+	}
+	done := make([]bool, nuca.NumCores) // phase-2 core settled
+
+	activeNeighbours := func(c int) []int {
+		var out []int
+		for _, p := range nuca.AdjacentCores(c) {
+			if inLocal[p] && !done[p] && p != c {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
+	for {
+		best, bestN := -1, 0
+		bestMU := -1.0
+		for c := 0; c < nuca.NumCores; c++ {
+			if !inLocal[c] || done[c] {
+				continue
+			}
+			hasPartner := len(activeNeighbours(c)) > 0
+			if lalloc[c] >= nuca.WaysPerBank && !hasPartner {
+				continue // at own-bank capacity with nobody to overflow into
+			}
+			// Lookahead to the end of the reachable region: the own bank,
+			// or the pair's 16 ways when overflow is possible.
+			room := nuca.WaysPerBank - lalloc[c]
+			if hasPartner {
+				room = 2*nuca.WaysPerBank - cfg.MinCoreWays - lalloc[c]
+			}
+			if room < 1 {
+				continue
+			}
+			n, mu := curves[c].BestLookahead(lalloc[c], room)
+			if better(mu, n, lalloc[c], bestMU, bestN, bestAlloc(best, lalloc)) {
+				best, bestN, bestMU = c, n, mu
+			}
+		}
+		if best < 0 || bestMU <= 0 {
+			break // nobody benefits from more; leftovers settle below
+		}
+		if lalloc[best]+bestN <= nuca.WaysPerBank {
+			lalloc[best] += bestN
+			continue
+		}
+		if lalloc[best] < nuca.WaysPerBank {
+			// The extension crosses into a neighbour's region: fill the
+			// own bank now; the overflow decision happens when the core
+			// wins again at the boundary.
+			lalloc[best] = nuca.WaysPerBank
+			continue
+		}
+		// Overflow into a neighbour's Local region (Box 5): choose the
+		// ideal pair with respect to minimal combined misses, under the
+		// jointly optimal split of the pair's 16 ways.
+		partners := activeNeighbours(best)
+		bestP, bestSplit := -1, 0
+		bestMisses := 0.0
+		for _, p := range partners {
+			s, m := optimalPairSplit(curves[best], curves[p], cfg.MinCoreWays)
+			if bestP < 0 || m < bestMisses {
+				bestP, bestSplit, bestMisses = p, s, m
+			}
+		}
+		if bestP < 0 {
+			done[best] = true
+			continue
+		}
+		lalloc[best] = bestSplit
+		lalloc[bestP] = 2*nuca.WaysPerBank - bestSplit
+		pairedWith[best], pairedWith[bestP] = bestP, best
+		done[best], done[bestP] = true, true
+	}
+	// Unpaired phase-2 cores keep their whole Local bank: all capacity is
+	// always assigned.
+	for c := 0; c < nuca.NumCores; c++ {
+		if inLocal[c] && pairedWith[c] < 0 {
+			lalloc[c] = nuca.WaysPerBank
+		}
+		if inLocal[c] {
+			alloc[c] = lalloc[c]
+		}
+	}
+
+	return buildAllocation(alloc, centerCount, pairedWith, prev)
+}
+
+// optimalPairSplit returns the split s (ways for core a; the partner gets
+// 16-s) minimising the pair's combined misses, and that minimal value.
+// Both sides keep at least minWays.
+func optimalPairSplit(a, b MissCurve, minWays int) (s int, misses float64) {
+	total := 2 * nuca.WaysPerBank
+	s = -1
+	for k := minWays; k <= total-minWays; k++ {
+		m := a.Misses(k) + b.Misses(total-k)
+		if s < 0 || m < misses {
+			s, misses = k, m
+		}
+	}
+	return s, misses
+}
+
+// buildAllocation turns the logical assignment (ways per core, center-bank
+// counts, local pairings) into physical way-owner masks. Center banks go to
+// their owners with affinity to the previous epoch's placement first (so a
+// stable way count keeps its data), then nearest-first (lowest access
+// latency); each pair shares the smaller member's Local bank, so the larger
+// member's bank stays whole.
+func buildAllocation(alloc, centerCount, pairedWith []int, prev *Allocation) (*Allocation, error) {
+	a := &Allocation{}
+	own := func(c int) cache.OwnerMask { return cache.OwnerMask(0).With(c) }
+
+	taken := [nuca.NumBanks]bool{}
+	need := append([]int(nil), centerCount...)
+	// Affinity pass: re-claim previously owned Center banks.
+	if prev != nil {
+		for c := 0; c < nuca.NumCores; c++ {
+			for b := nuca.NumCores; b < nuca.NumBanks && need[c] > 0; b++ {
+				if !taken[b] && prev.WaysIn(c, b) == nuca.WaysPerBank {
+					taken[b] = true
+					need[c]--
+					for w := 0; w < nuca.WaysPerBank; w++ {
+						a.WayOwners[b][w] = own(c)
+					}
+				}
+			}
+		}
+	}
+	// Remaining Center banks: nearest-first per core, cores in id order
+	// (the Center cluster sits mid-chip, so latency differences within it
+	// are small by construction).
+	for c := 0; c < nuca.NumCores; c++ {
+		for k := 0; k < need[c]; k++ {
+			b := nearestFreeCenter(c, &taken)
+			taken[b] = true
+			for w := 0; w < nuca.WaysPerBank; w++ {
+				a.WayOwners[b][w] = own(c)
+			}
+		}
+	}
+
+	// Local banks.
+	for c := 0; c < nuca.NumCores; c++ {
+		p := pairedWith[c]
+		lb := nuca.LocalBankOf(c)
+		switch {
+		case p < 0:
+			// Whole bank to its core (complete cores and singletons).
+			for w := 0; w < nuca.WaysPerBank; w++ {
+				a.WayOwners[lb][w] = own(c)
+			}
+		case alloc[c] >= alloc[p]:
+			// The larger member keeps its own bank whole; handled when we
+			// visit the smaller member (below) to avoid double work.
+			for w := 0; w < nuca.WaysPerBank; w++ {
+				a.WayOwners[lb][w] = own(c)
+			}
+		default:
+			// c is the smaller member: its bank is shared. Its partner
+			// holds alloc[p] - 8 ways here; c holds the rest.
+			spill := alloc[p] - nuca.WaysPerBank
+			if spill < 0 || spill >= nuca.WaysPerBank {
+				return nil, fmt.Errorf("core: pair (%d,%d) spill %d out of range", c, p, spill)
+			}
+			for w := 0; w < nuca.WaysPerBank; w++ {
+				if w < spill {
+					a.WayOwners[lb][w] = own(p)
+				} else {
+					a.WayOwners[lb][w] = own(c)
+				}
+			}
+		}
+	}
+	a.recount()
+	for c := 0; c < nuca.NumCores; c++ {
+		if a.Ways[c] != alloc[c] {
+			return nil, fmt.Errorf("core: core %d placed %d ways, algorithm said %d", c, a.Ways[c], alloc[c])
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: dynamic
+// partitioning of a banked DNUCA L2 among cores. It contains the
+// marginal-utility machinery (Section III.C), the idealised Unrestricted
+// partitioner (the UCP-style lookahead baseline the paper compares
+// against), the Bank-aware allocation algorithm of Fig. 6 with its
+// physical-bank placement rules, and the static Equal / No-partition
+// policies.
+package core
+
+import "fmt"
+
+// MissCurve is a projected miss-count curve: element w is the number of
+// misses a workload would suffer with w dedicated way-equivalents of L2
+// (the output of msa.Profiler.MissCurve or trace.Spec.MissCurve scaled by
+// access count). Curves are non-increasing in any sane input; allocators
+// clamp reads past the end to the last element, which models the paper's
+// maximum-assignable-capacity cap: beyond MaxWays the profiler simply has
+// no information and the curve is flat.
+type MissCurve []float64
+
+// Misses returns the projected misses at w ways, clamping w to the curve's
+// domain.
+func (m MissCurve) Misses(w int) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	if w < 0 {
+		w = 0
+	}
+	if w >= len(m) {
+		w = len(m) - 1
+	}
+	return m[w]
+}
+
+// MaxWays returns the largest allocation the curve has information for.
+func (m MissCurve) MaxWays() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m) - 1
+}
+
+// MarginalUtility returns the paper's Section III.C definition: the miss
+// reduction per way of growing an allocation from c to c+n ways,
+// (MissRate(c) - MissRate(c+n)) / n. Zero or negative when more capacity
+// does not help.
+func (m MissCurve) MarginalUtility(c, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return (m.Misses(c) - m.Misses(c+n)) / float64(n)
+}
+
+// BestLookahead scans every extension size 1..maxN from allocation c and
+// returns the size with the highest marginal utility (Qureshi's lookahead,
+// which handles curves whose benefit arrives only after several ways, e.g.
+// a knee at 6 ways from a 2-way allocation). Ties prefer the smaller
+// extension. maxN <= 0 yields (0, 0).
+func (m MissCurve) BestLookahead(c, maxN int) (n int, mu float64) {
+	for k := 1; k <= maxN; k++ {
+		if u := m.MarginalUtility(c, k); beats(u, mu) {
+			n, mu = k, u
+		}
+	}
+	if n == 0 && maxN > 0 {
+		// Nothing helps; the minimal extension is the canonical answer.
+		n = 1
+	}
+	return n, mu
+}
+
+// beats reports whether utility u meaningfully exceeds the incumbent,
+// with a relative epsilon so floating-point noise on exactly-tied slopes
+// (a linear curve evaluated over different extensions) cannot promote an
+// arbitrarily large extension over the canonical smallest one.
+func beats(u, incumbent float64) bool {
+	return u > incumbent+incumbent*1e-9+1e-12
+}
+
+// BestLookaheadStride is BestLookahead over extensions that are multiples
+// of stride ways (whole cache banks in the bank-aware phase-1 loop): it
+// scans n = stride, 2*stride, ..., maxSteps*stride and returns the step
+// count and per-way marginal utility of the best extension. A cliff curve
+// whose benefit only materialises several banks out (bzip2's ~45-way knee
+// from an 8-way start) is invisible to a single-bank MU but found here.
+func (m MissCurve) BestLookaheadStride(c, stride, maxSteps int) (steps int, mu float64) {
+	if stride <= 0 {
+		return 0, 0
+	}
+	for k := 1; k <= maxSteps; k++ {
+		if u := m.MarginalUtility(c, k*stride); beats(u, mu) {
+			steps, mu = k, u
+		}
+	}
+	if steps == 0 && maxSteps > 0 {
+		steps = 1
+	}
+	return steps, mu
+}
+
+// ProjectTotalMisses sums each core's projected misses under the given
+// per-core way allocation — the quantity the Monte Carlo comparison (Fig.
+// 7) ranks policies by.
+func ProjectTotalMisses(curves []MissCurve, ways []int) (float64, error) {
+	if len(curves) != len(ways) {
+		return 0, fmt.Errorf("core: %d curves vs %d allocations", len(curves), len(ways))
+	}
+	total := 0.0
+	for i, c := range curves {
+		total += c.Misses(ways[i])
+	}
+	return total, nil
+}

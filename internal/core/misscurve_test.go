@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMissCurveClamping(t *testing.T) {
+	m := MissCurve{100, 60, 30, 30}
+	if m.Misses(-5) != 100 {
+		t.Fatal("negative ways should clamp to 0")
+	}
+	if m.Misses(0) != 100 || m.Misses(2) != 30 {
+		t.Fatal("basic reads wrong")
+	}
+	if m.Misses(99) != 30 {
+		t.Fatal("past-end reads should clamp to the last element")
+	}
+	if m.MaxWays() != 3 {
+		t.Fatalf("MaxWays = %d", m.MaxWays())
+	}
+}
+
+func TestMissCurveEmpty(t *testing.T) {
+	var m MissCurve
+	if m.Misses(3) != 0 || m.MaxWays() != 0 {
+		t.Fatal("empty curve should read as zero")
+	}
+	if m.MarginalUtility(0, 4) != 0 {
+		t.Fatal("empty curve MU should be 0")
+	}
+}
+
+func TestMarginalUtilityDefinition(t *testing.T) {
+	m := MissCurve{100, 60, 30, 30}
+	// MU(0,2) = (100-30)/2 = 35.
+	if got := m.MarginalUtility(0, 2); math.Abs(got-35) > 1e-12 {
+		t.Fatalf("MU(0,2) = %v, want 35", got)
+	}
+	if got := m.MarginalUtility(2, 1); got != 0 {
+		t.Fatalf("MU on flat region = %v, want 0", got)
+	}
+	if m.MarginalUtility(0, 0) != 0 || m.MarginalUtility(0, -3) != 0 {
+		t.Fatal("non-positive n should yield 0")
+	}
+}
+
+func TestBestLookaheadFindsDelayedKnee(t *testing.T) {
+	// No benefit for 1-2 ways, huge benefit at 3 (a knee): plain greedy
+	// (n=1) would never start; lookahead must pick n=3.
+	m := MissCurve{100, 100, 100, 5, 5, 5}
+	n, mu := m.BestLookahead(0, 5)
+	if n != 3 {
+		t.Fatalf("lookahead chose n=%d, want 3", n)
+	}
+	if math.Abs(mu-95.0/3.0) > 1e-12 {
+		t.Fatalf("mu = %v", mu)
+	}
+}
+
+func TestBestLookaheadFlatCurve(t *testing.T) {
+	m := MissCurve{10, 10, 10}
+	n, mu := m.BestLookahead(0, 2)
+	if n != 1 || mu != 0 {
+		t.Fatalf("flat lookahead = (%d,%v), want (1,0)", n, mu)
+	}
+	n, mu = m.BestLookahead(0, 0)
+	if n != 0 || mu != 0 {
+		t.Fatalf("zero-room lookahead = (%d,%v)", n, mu)
+	}
+}
+
+func TestBestLookaheadPrefersSmallerTie(t *testing.T) {
+	// Uniform slope: MU identical for every n; smallest extension wins.
+	m := MissCurve{30, 20, 10, 0}
+	n, _ := m.BestLookahead(0, 3)
+	if n != 1 {
+		t.Fatalf("tie-break chose n=%d, want 1", n)
+	}
+}
+
+func TestProjectTotalMisses(t *testing.T) {
+	curves := []MissCurve{{10, 4}, {20, 8}}
+	got, err := ProjectTotalMisses(curves, []int{1, 0})
+	if err != nil || got != 24 {
+		t.Fatalf("total = %v, %v", got, err)
+	}
+	if _, err := ProjectTotalMisses(curves, []int{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

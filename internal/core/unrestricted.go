@@ -1,0 +1,116 @@
+package core
+
+import "fmt"
+
+// UnrestrictedConfig parametrises the idealised partitioner.
+type UnrestrictedConfig struct {
+	// TotalWays is the capacity to distribute (128 for the baseline L2).
+	TotalWays int
+	// MaxCoreWays caps one core's share (72 = 9/16 in the paper; the same
+	// cap the profilers impose). Zero means no cap beyond TotalWays.
+	MaxCoreWays int
+	// MinCoreWays is the floor each core is guaranteed (2 in this
+	// reproduction, matching the smallest assignments in Table III).
+	MinCoreWays int
+}
+
+// DefaultUnrestricted returns the baseline parameters.
+func DefaultUnrestricted() UnrestrictedConfig {
+	return UnrestrictedConfig{TotalWays: 128, MaxCoreWays: 72, MinCoreWays: 2}
+}
+
+// Validate reports configuration errors for n cores.
+func (c UnrestrictedConfig) Validate(n int) error {
+	if n < 1 {
+		return fmt.Errorf("core: need at least one core")
+	}
+	if c.TotalWays < 1 {
+		return fmt.Errorf("core: total ways must be positive")
+	}
+	if c.MinCoreWays < 0 {
+		return fmt.Errorf("core: negative minimum ways")
+	}
+	if c.MinCoreWays*n > c.TotalWays {
+		return fmt.Errorf("core: minimum %d ways x %d cores exceeds total %d", c.MinCoreWays, n, c.TotalWays)
+	}
+	max := c.MaxCoreWays
+	if max == 0 {
+		max = c.TotalWays
+	}
+	if max < c.MinCoreWays {
+		return fmt.Errorf("core: max ways %d below min %d", max, c.MinCoreWays)
+	}
+	if max*n < c.TotalWays {
+		return fmt.Errorf("core: cap %d x %d cores cannot absorb %d ways", max, n, c.TotalWays)
+	}
+	return nil
+}
+
+// Unrestricted computes the idealised way partition the paper uses as the
+// upper-envelope comparator ("Unrestricted" in Fig. 7): a greedy
+// marginal-utility allocator with lookahead over a fully configurable cache
+// (no banking restrictions). Every way is assigned.
+func Unrestricted(curves []MissCurve, cfg UnrestrictedConfig) ([]int, error) {
+	n := len(curves)
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	maxWays := cfg.MaxCoreWays
+	if maxWays == 0 {
+		maxWays = cfg.TotalWays
+	}
+	alloc := make([]int, n)
+	remaining := cfg.TotalWays
+	for i := range alloc {
+		alloc[i] = cfg.MinCoreWays
+		remaining -= cfg.MinCoreWays
+	}
+	for remaining > 0 {
+		best, bestN := -1, 0
+		bestMU := -1.0
+		for c := 0; c < n; c++ {
+			room := maxWays - alloc[c]
+			if room > remaining {
+				room = remaining
+			}
+			if room <= 0 {
+				continue
+			}
+			k, mu := curves[c].BestLookahead(alloc[c], room)
+			if better(mu, k, alloc[c], bestMU, bestN, bestAlloc(best, alloc)) {
+				best, bestN, bestMU = c, k, mu
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("core: no core can absorb %d remaining ways", remaining)
+		}
+		alloc[best] += bestN
+		remaining -= bestN
+	}
+	return alloc, nil
+}
+
+func bestAlloc(best int, alloc []int) int {
+	if best < 0 {
+		return 1 << 30
+	}
+	return alloc[best]
+}
+
+// better decides whether candidate (mu, n, alloc) beats the incumbent.
+// Higher marginal utility wins; ties go to the core with the smaller
+// current allocation (fairness), then to the smaller extension, then to
+// iteration order (lower core id, implicit in strict comparisons).
+func better(mu float64, n, alloc int, incMU float64, incN, incAlloc int) bool {
+	const eps = 1e-12
+	switch {
+	case mu > incMU+eps:
+		return true
+	case mu < incMU-eps:
+		return false
+	case alloc != incAlloc:
+		return alloc < incAlloc
+	default:
+		return n < incN
+	}
+}

@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBranchConfigValidation(t *testing.T) {
+	c := DefaultConfig()
+	c.BranchMPKI = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative MPKI accepted")
+	}
+	c = DefaultConfig()
+	c.BranchMPKI = 2000
+	if err := c.Validate(); err == nil {
+		t.Fatal("absurd MPKI accepted")
+	}
+	c = DefaultConfig()
+	c.BranchMPKI = 5
+	if err := c.Validate(); err == nil {
+		t.Fatal("MPKI without penalty accepted")
+	}
+	c.MispredictPenalty = 20
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid branch config rejected: %v", err)
+	}
+	c.MispredictPenalty = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative penalty accepted")
+	}
+}
+
+func TestBranchPenaltyExactCharge(t *testing.T) {
+	// 10 MPKI x 20-cycle penalty over 100k instructions = exactly 1000
+	// mispredicts = 20000 cycles of branch stall.
+	cfg := Config{Width: 4, ROBEntries: 128, MSHRs: 16, BranchMPKI: 10, MispredictPenalty: 20}
+	c := MustNew(0, cfg)
+	for i := 0; i < 10_000; i++ {
+		c.BeginAccess(9) // 10 instructions per call
+	}
+	s := c.Stats()
+	// Fractional-debt float accumulation may leave the very last flush
+	// pending; allow one flush of slack.
+	if s.BranchStall < 20_000-20 || s.BranchStall > 20_000 {
+		t.Fatalf("branch stall = %d, want ~20000", s.BranchStall)
+	}
+	// CPI = width term (0.25) + branch term (10/1000*20 = 0.2).
+	want := 0.25 + 0.2
+	if math.Abs(s.CPI()-want) > 0.01 {
+		t.Fatalf("CPI = %.4f, want ~%.2f", s.CPI(), want)
+	}
+}
+
+func TestBranchDisabledByDefault(t *testing.T) {
+	c := MustNew(0, DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		c.BeginAccess(9)
+	}
+	if c.Stats().BranchStall != 0 {
+		t.Fatal("default config charged branch stalls")
+	}
+}
+
+func TestBranchFractionalAccumulation(t *testing.T) {
+	// 1 MPKI over single-instruction steps: debt accrues at 0.001 per
+	// instruction; after exactly 1000 instructions one flush lands.
+	cfg := Config{Width: 1, ROBEntries: 8, MSHRs: 2, BranchMPKI: 1, MispredictPenalty: 30}
+	c := MustNew(0, cfg)
+	for i := 0; i < 999; i++ {
+		c.BeginAccess(0)
+	}
+	if c.Stats().BranchStall != 0 {
+		t.Fatalf("early flush at %d", c.Stats().BranchStall)
+	}
+	c.BeginAccess(0)
+	if c.Stats().BranchStall != 30 {
+		t.Fatalf("branch stall = %d, want 30", c.Stats().BranchStall)
+	}
+}

@@ -1,0 +1,204 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, c := range []Config{
+		{Width: 0, ROBEntries: 128, MSHRs: 16},
+		{Width: 4, ROBEntries: 0, MSHRs: 16},
+		{Width: 4, ROBEntries: 128, MSHRs: 0},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	c := DefaultConfig()
+	if c.Width != 4 || c.ROBEntries != 128 || c.MSHRs != 16 {
+		t.Fatalf("default = %+v, Table I: 4-wide, 128 ROB, 16 requests", c)
+	}
+}
+
+func TestComputeBoundCPI(t *testing.T) {
+	// With no fills, CPI must equal 1/Width exactly.
+	c := MustNew(0, Config{Width: 4, ROBEntries: 128, MSHRs: 16})
+	for i := 0; i < 1000; i++ {
+		c.BeginAccess(7) // 8 instructions per access
+	}
+	if got := c.CPI(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("compute-bound CPI = %v, want 0.25", got)
+	}
+}
+
+func TestFractionalWidthAccumulation(t *testing.T) {
+	// 1 instruction per call at width 4: four calls per cycle.
+	c := MustNew(0, Config{Width: 4, ROBEntries: 128, MSHRs: 16})
+	for i := 0; i < 8; i++ {
+		c.BeginAccess(0)
+	}
+	if c.Now() != 2 {
+		t.Fatalf("8 single-instruction accesses took %d cycles, want 2", c.Now())
+	}
+}
+
+func TestSingleMissOverlapped(t *testing.T) {
+	// One fill completing at cycle 50 while the core has plenty of work:
+	// no stall at all, latency fully hidden.
+	c := MustNew(0, Config{Width: 1, ROBEntries: 1000, MSHRs: 16})
+	c.BeginAccess(0)
+	c.RecordFill(c.Now() + 50)
+	c.BeginAccess(99) // 100 instructions = 100 cycles of work
+	s := c.Stats()
+	if s.MSHRStall != 0 || s.ROBStall != 0 {
+		t.Fatalf("unexpected stalls: %+v", s)
+	}
+}
+
+func TestMSHRLimitStalls(t *testing.T) {
+	// MSHRs=2; three back-to-back long fills force a wait for the earliest.
+	c := MustNew(0, Config{Width: 1, ROBEntries: 100000, MSHRs: 2})
+	c.BeginAccess(0)
+	c.RecordFill(c.Now() + 100)
+	c.BeginAccess(0)
+	c.RecordFill(c.Now() + 200)
+	issue := c.BeginAccess(0) // must wait for the first fill (earliest)
+	if issue < 101 {
+		t.Fatalf("third access issued at %d, want >= 101", issue)
+	}
+	if c.Stats().MSHRStall == 0 {
+		t.Fatal("MSHR stall not recorded")
+	}
+}
+
+func TestROBAgeLimitStalls(t *testing.T) {
+	// A single outstanding miss with a huge MSHR pool: the core can run at
+	// most ROBEntries instructions past it.
+	c := MustNew(0, Config{Width: 1, ROBEntries: 64, MSHRs: 1000})
+	c.BeginAccess(0)
+	fillDone := c.Now() + 500
+	c.RecordFill(fillDone)
+	// Issue 63 more instructions - fine. The next blocks on the ROB.
+	c.BeginAccess(62)
+	if c.Stats().ROBStall != 0 {
+		t.Fatalf("stalled too early: %+v", c.Stats())
+	}
+	issue := c.BeginAccess(0)
+	if issue < fillDone {
+		t.Fatalf("ROB-blocked access issued at %d, want >= %d", issue, fillDone)
+	}
+	if c.Stats().ROBStall == 0 {
+		t.Fatal("ROB stall not recorded")
+	}
+}
+
+func TestMLPOverlapsIndependentMisses(t *testing.T) {
+	// Two cores, same miss latency L=400 and same instruction stream, but
+	// one receives misses back-to-back (overlapped, MLP) and the other
+	// serialised. With bounded resources both finish; the overlapped one
+	// must be much faster.
+	mk := func() *Core { return MustNew(0, Config{Width: 1, ROBEntries: 128, MSHRs: 16}) }
+	over := mk()
+	for i := 0; i < 100; i++ {
+		at := over.BeginAccess(0)
+		over.RecordFill(at + 400)
+	}
+	over.Drain()
+
+	serial := mk()
+	for i := 0; i < 100; i++ {
+		at := serial.BeginAccess(0)
+		serial.RecordFill(at + 400)
+		serial.Drain() // force dependence on every miss
+	}
+	if float64(over.Now()) > 0.25*float64(serial.Now()) {
+		t.Fatalf("overlap too weak: overlapped %d vs serialised %d cycles", over.Now(), serial.Now())
+	}
+}
+
+func TestDrainWaitsForAll(t *testing.T) {
+	c := MustNew(0, DefaultConfig())
+	c.BeginAccess(0)
+	c.RecordFill(c.Now() + 300)
+	c.BeginAccess(0)
+	c.RecordFill(c.Now() + 100)
+	c.Drain()
+	if c.Now() < 300 {
+		t.Fatalf("Drain stopped at %d, want >= 300", c.Now())
+	}
+	if c.Outstanding() != 0 {
+		t.Fatal("Drain left outstanding fills")
+	}
+}
+
+func TestRecordFillClampsPast(t *testing.T) {
+	c := MustNew(0, DefaultConfig())
+	c.BeginAccess(10)
+	c.RecordFill(c.Now() - 50) // completion in the past: clamp, no panic
+	c.Drain()
+	if c.Now() < 0 {
+		t.Fatal("time went backwards")
+	}
+}
+
+func TestNegativeGapClamped(t *testing.T) {
+	c := MustNew(0, DefaultConfig())
+	c.BeginAccess(-5)
+	if c.Instructions() != 1 {
+		t.Fatalf("instructions = %d, want 1", c.Instructions())
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	c := MustNew(3, DefaultConfig())
+	if c.ID() != 3 {
+		t.Fatalf("ID = %d", c.ID())
+	}
+	c.BeginAccess(3)
+	c.RecordFill(c.Now() + 10)
+	s := c.Stats()
+	if s.Instructions != 4 || s.MemAccesses != 1 || s.Fills != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	var zero Stats
+	if zero.CPI() != 0 {
+		t.Fatal("zero stats CPI should be 0")
+	}
+}
+
+func TestCPIGrowsWithMissLatency(t *testing.T) {
+	// Same stream, larger fill latency => larger CPI. Uses a dependent-ish
+	// pattern (small ROB) so latency is exposed.
+	run := func(lat int64) float64 {
+		c := MustNew(0, Config{Width: 4, ROBEntries: 16, MSHRs: 4})
+		for i := 0; i < 2000; i++ {
+			at := c.BeginAccess(3)
+			c.RecordFill(at + lat)
+		}
+		c.Drain()
+		return c.CPI()
+	}
+	small, large := run(20), run(300)
+	if large <= small {
+		t.Fatalf("CPI did not grow with latency: %v vs %v", small, large)
+	}
+	if small < 0.25 {
+		t.Fatalf("CPI %v below the width bound", small)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, Config{})
+}

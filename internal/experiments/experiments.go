@@ -1,0 +1,180 @@
+// Package experiments encodes the paper's evaluation section as runnable
+// experiments: the Table III workload sets, the simulation protocol
+// (fast-forward/warm-up/measure), and one function per table or figure.
+// The cmd/ tools and the repository's benchmarks are thin wrappers around
+// this package, so every number in EXPERIMENTS.md regenerates from one
+// place.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bankaware/internal/core"
+	"bankaware/internal/msa"
+	"bankaware/internal/sim"
+	"bankaware/internal/stats"
+	"bankaware/internal/trace"
+)
+
+// TableIIISets are the paper's eight detailed-simulation workload mixes
+// (Table III), core 0 through core 7.
+var TableIIISets = [8][]string{
+	{"apsi", "galgel", "gcc", "mgrid", "applu", "mesa", "facerec", "gzip"},
+	{"crafty", "gap", "mcf", "art", "equake", "equake", "bzip2", "equake"},
+	{"applu", "galgel", "art", "art", "sixtrack", "gcc", "mgrid", "lucas"},
+	{"mgrid", "mcf", "art", "equake", "gcc", "equake", "sixtrack", "crafty"},
+	{"facerec", "fma3d", "sixtrack", "apsi", "fma3d", "ammp", "lucas", "swim"},
+	{"bzip2", "gcc", "twolf", "mesa", "wupwise", "applu", "fma3d", "ammp"},
+	{"swim", "parser", "mgrid", "twolf", "fma3d", "parser", "swim", "mcf"},
+	{"ammp", "eon", "swim", "gap", "gcc", "art", "twolf", "art"},
+}
+
+// Scale selects the machine size for detailed simulations.
+type Scale int
+
+const (
+	// ScaleModel is the 1/16-scale machine (128-set banks): every capacity
+	// ratio of the baseline is preserved while working sets build up ~16x
+	// faster, standing in for the paper's 1B-instruction fast-forward.
+	ScaleModel Scale = iota
+	// ScaleFull is the paper's full Table I machine (2048-set banks,
+	// 16 MB L2). Experiments at this scale need hundreds of millions of
+	// instructions to warm and are meant for the CLI tools, not tests.
+	ScaleFull
+)
+
+// Config returns the simulator configuration for a scale.
+func (s Scale) Config() sim.Config {
+	cfg := sim.DefaultConfig()
+	switch s {
+	case ScaleFull:
+		return cfg
+	default:
+		cfg.BankSets = 128
+		cfg.L1.Sets = 32
+		cfg.Profiler = msa.Config{Sets: 128, MaxWays: 72, SampleLog2: 0, PartialTagBits: 12}
+		cfg.EpochCycles = 1_500_000
+		return cfg
+	}
+}
+
+// DefaultInstructions returns a sensible per-core instruction budget for
+// the scale (the paper runs 200M after 1.1B of fast-forward + warm-up).
+func (s Scale) DefaultInstructions() uint64 {
+	if s == ScaleFull {
+		return 200_000_000
+	}
+	return 3_000_000
+}
+
+// SetResult is one Table III set evaluated under the three policies — one
+// bar group of Figs. 8 and 9.
+type SetResult struct {
+	Set       int
+	Workloads []string
+	None      sim.Result
+	Equal     sim.Result
+	Bank      sim.Result
+
+	// Per-benchmark geometric-mean ratios vs No-partitions (Figs. 8, 9).
+	RelMissEqual, RelMissBank float64
+	RelCPIEqual, RelCPIBank   float64
+	// System-total miss ratios vs No-partitions.
+	TotalMissEqual, TotalMissBank float64
+}
+
+// RunSet simulates one workload set under the three policies.
+func RunSet(cfg sim.Config, set int, workloads []string, instructions uint64) (*SetResult, error) {
+	specs := make([]trace.Spec, len(workloads))
+	for i, n := range workloads {
+		s, err := trace.SpecByName(n)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = s
+	}
+	run := func(p core.Policy) (sim.Result, error) {
+		sys, err := sim.New(cfg, p, specs)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		// Warm-up covers working-set build-up and the first epochs of
+		// dynamic adaptation, like the paper's fast-forward + warm-up.
+		if err := sys.Run(instructions / 2); err != nil {
+			return sim.Result{}, err
+		}
+		sys.ResetStats()
+		if err := sys.Run(instructions); err != nil {
+			return sim.Result{}, err
+		}
+		return sys.Result(workloads), nil
+	}
+	none, err := run(core.NoPartitionPolicy{})
+	if err != nil {
+		return nil, err
+	}
+	equal, err := run(core.EqualPolicy{})
+	if err != nil {
+		return nil, err
+	}
+	bank, err := run(core.NewBankAwarePolicy())
+	if err != nil {
+		return nil, err
+	}
+	r := &SetResult{Set: set, Workloads: workloads, None: none, Equal: equal, Bank: bank}
+	r.RelMissEqual, r.RelCPIEqual = equal.PerCoreRelative(none)
+	r.RelMissBank, r.RelCPIBank = bank.PerCoreRelative(none)
+	r.TotalMissEqual, _ = equal.Relative(none)
+	r.TotalMissBank, _ = bank.Relative(none)
+	return r, nil
+}
+
+// Fig8Fig9 runs all eight Table III sets and returns the per-set results
+// plus the geometric means across sets (the paper's "GM" bars).
+type Fig8Fig9Result struct {
+	Sets []SetResult
+	// GMRelMiss* and GMRelCPI* are the Fig. 8 / Fig. 9 GM bars.
+	GMRelMissEqual, GMRelMissBank float64
+	GMRelCPIEqual, GMRelCPIBank   float64
+}
+
+// RunFig8Fig9 executes the detailed-simulation experiment.
+func RunFig8Fig9(scale Scale, instructions uint64) (*Fig8Fig9Result, error) {
+	cfg := scale.Config()
+	if instructions == 0 {
+		instructions = scale.DefaultInstructions()
+	}
+	out := &Fig8Fig9Result{}
+	var me, mb, ce, cb []float64
+	for i, set := range TableIIISets {
+		r, err := RunSet(cfg, i+1, set[:], instructions)
+		if err != nil {
+			return nil, fmt.Errorf("set %d: %w", i+1, err)
+		}
+		out.Sets = append(out.Sets, *r)
+		me = append(me, r.RelMissEqual)
+		mb = append(mb, r.RelMissBank)
+		ce = append(ce, r.RelCPIEqual)
+		cb = append(cb, r.RelCPIBank)
+	}
+	out.GMRelMissEqual = stats.GeoMean(me)
+	out.GMRelMissBank = stats.GeoMean(mb)
+	out.GMRelCPIEqual = stats.GeoMean(ce)
+	out.GMRelCPIBank = stats.GeoMean(cb)
+	return out, nil
+}
+
+// String renders the Fig. 8 + Fig. 9 rows.
+func (r *Fig8Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-12s %-12s %-12s %-12s\n", "set",
+		"relMissEqual", "relMissBank", "relCPIEqual", "relCPIBank")
+	for _, s := range r.Sets {
+		fmt.Fprintf(&b, "%-5d %-12.3f %-12.3f %-12.3f %-12.3f\n",
+			s.Set, s.RelMissEqual, s.RelMissBank, s.RelCPIEqual, s.RelCPIBank)
+	}
+	fmt.Fprintf(&b, "%-5s %-12.3f %-12.3f %-12.3f %-12.3f\n", "GM",
+		r.GMRelMissEqual, r.GMRelMissBank, r.GMRelCPIEqual, r.GMRelCPIBank)
+	return b.String()
+}

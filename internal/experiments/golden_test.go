@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"bankaware/internal/montecarlo"
+)
+
+// Golden snapshots: these pin the deterministic outputs of the projection-
+// based experiments so refactors that silently change results fail loudly.
+// A legitimate calibration change updates the snapshot together with
+// EXPERIMENTS.md.
+
+func TestGoldenTableIIIWaySums(t *testing.T) {
+	rows, err := TableIIIAssignments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural golden facts that must survive any valid refactor.
+	for _, r := range rows {
+		sum := 0
+		for _, w := range r.Ways {
+			sum += w
+		}
+		if sum != 128 {
+			t.Fatalf("set %d: ways sum %d", r.Set, sum)
+		}
+	}
+	// Snapshot of set 6 (the bzip2/twolf set) under the committed catalog.
+	want := [8]int{24, 8, 32, 24, 8, 8, 8, 16}
+	if rows[5].Ways != want {
+		t.Fatalf("set 6 assignment changed: %v (golden %v) — recalibrated? update EXPERIMENTS.md too", rows[5].Ways, want)
+	}
+}
+
+func TestGoldenMonteCarloMeans(t *testing.T) {
+	cfg := montecarlo.DefaultConfig()
+	cfg.Trials = 200
+	res, err := montecarlo.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinned to the committed catalog + seed; tolerance covers float
+	// noise only, not behavioural change.
+	const wantU, wantB = 0.680, 0.752
+	if d := res.MeanUnrestrictedRatio - wantU; d < -0.02 || d > 0.02 {
+		t.Fatalf("unrestricted mean %.4f drifted from golden %.3f", res.MeanUnrestrictedRatio, wantU)
+	}
+	if d := res.MeanBankAwareRatio - wantB; d < -0.02 || d > 0.02 {
+		t.Fatalf("bank-aware mean %.4f drifted from golden %.3f", res.MeanBankAwareRatio, wantB)
+	}
+}
+
+func TestGoldenFig3Points(t *testing.T) {
+	curves, err := Fig3Curves(Fig3Exemplars, 200_000, ScaleModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for _, c := range curves {
+		byName[c.Workload] = c.Ratio
+	}
+	checks := []struct {
+		workload string
+		way      int
+		lo, hi   float64
+	}{
+		{"sixtrack", 8, 0.0, 0.08},
+		{"sixtrack", 4, 0.6, 1.0},
+		{"applu", 32, 0.3, 0.5},
+		{"bzip2", 48, 0.05, 0.2},
+	}
+	for _, c := range checks {
+		got := byName[c.workload][c.way]
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s at %d ways = %.3f, golden range [%.2f,%.2f]", c.workload, c.way, got, c.lo, c.hi)
+		}
+	}
+}

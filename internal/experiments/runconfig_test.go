@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bankaware/internal/cache"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodConfig = `{
+  "workloads": ["apsi","galgel","gcc","mgrid","applu","mesa","facerec","gzip"],
+  "policy": "bankaware",
+  "scale": "model",
+  "instructions": 123456,
+  "epochCycles": 250000,
+  "adaptiveEpochs": true,
+  "memChannels": 2,
+  "l2Replacement": "plru",
+  "seed": 42
+}`
+
+func TestLoadRunConfig(t *testing.T) {
+	rc, err := LoadRunConfig(writeConfig(t, goodConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, policy, specs, instr, err := rc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EpochCycles != 250_000 || !cfg.AdaptiveEpochs || cfg.MemChannels != 2 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if cfg.L2Replacement != cache.TreePLRU {
+		t.Fatal("plru not applied")
+	}
+	if cfg.Seed != 42 {
+		t.Fatal("seed not applied")
+	}
+	if policy.Name() != "Bank-aware" {
+		t.Fatalf("policy = %s", policy.Name())
+	}
+	if len(specs) != 8 || specs[0].Name != "apsi" {
+		t.Fatalf("specs wrong: %d", len(specs))
+	}
+	if instr != 123_456 {
+		t.Fatalf("instructions = %d", instr)
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	rc, err := LoadRunConfig(writeConfig(t,
+		`{"workloads": ["apsi","galgel","gcc","mgrid","applu","mesa","facerec","gzip"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, policy, _, instr, err := rc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.Name() != "Bank-aware" {
+		t.Fatalf("default policy = %s", policy.Name())
+	}
+	if instr != ScaleModel.DefaultInstructions() {
+		t.Fatalf("default instructions = %d", instr)
+	}
+	if cfg.L2Replacement != cache.LRU || cfg.MemChannels != 0 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestRunConfigRejections(t *testing.T) {
+	cases := []string{
+		`{`, // syntax error
+		`{"workloads": ["apsi"]}`,
+		`{"workloads": ["nonesuch","galgel","gcc","mgrid","applu","mesa","facerec","gzip"]}`,
+		`{"workloads": ["apsi","galgel","gcc","mgrid","applu","mesa","facerec","gzip"], "policy": "bogus"}`,
+		`{"workloads": ["apsi","galgel","gcc","mgrid","applu","mesa","facerec","gzip"], "scale": "huge"}`,
+		`{"workloads": ["apsi","galgel","gcc","mgrid","applu","mesa","facerec","gzip"], "l2Replacement": "random"}`,
+	}
+	for i, body := range cases {
+		if _, err := LoadRunConfig(writeConfig(t, body)); err == nil {
+			t.Errorf("case %d accepted: %s", i, body)
+		}
+	}
+	if _, err := LoadRunConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunConfigBuildValidatesSimConfig(t *testing.T) {
+	rc := &RunConfig{
+		Workloads:   []string{"apsi", "galgel", "gcc", "mgrid", "applu", "mesa", "facerec", "gzip"},
+		MemChannels: 3, // not a power of two
+	}
+	if _, _, _, _, err := rc.Build(); err == nil {
+		t.Fatal("invalid sim config accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 1); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := New(4, -1, 1); err == nil {
+		t.Fatal("negative per-hop latency accepted")
+	}
+	if _, err := New(4, 1, -1); err == nil {
+		t.Fatal("negative flit cycles accepted")
+	}
+	if n, err := New(8, 8.571, 1); err != nil || n.Nodes() != 8 {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic")
+		}
+	}()
+	MustNew(0, 1, 1)
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	// 60/7 cycles per hop: 7 hops must take exactly 60 cycles.
+	n := MustNew(8, 60.0/7.0, 1)
+	got := n.Transfer(0, 7, 100, 1)
+	if got != 160 {
+		t.Fatalf("7-hop transfer arrived at %d, want 160", got)
+	}
+	if n.PathLatency(7) != 60 {
+		t.Fatalf("PathLatency(7) = %d, want 60", n.PathLatency(7))
+	}
+}
+
+func TestZeroHopTransfer(t *testing.T) {
+	n := MustNew(4, 5, 2)
+	if got := n.Transfer(2, 2, 42, 4); got != 42 {
+		t.Fatalf("self transfer arrived at %d, want 42", got)
+	}
+	if n.Stats().TotalHops != 0 {
+		t.Fatal("self transfer counted hops")
+	}
+}
+
+func TestDirectionalityAndSymmetry(t *testing.T) {
+	n := MustNew(8, 4, 1)
+	a := n.Transfer(1, 5, 0, 1)
+	b := n.Transfer(5, 1, 0, 1)
+	if a != b {
+		t.Fatalf("asymmetric uncontended latency: %d vs %d", a, b)
+	}
+	if a != 16 {
+		t.Fatalf("4-hop transfer = %d, want 16", a)
+	}
+}
+
+func TestLinkContentionQueues(t *testing.T) {
+	// Two messages crossing link 0 in the same direction at the same time:
+	// the second is delayed by the first's occupancy.
+	n := MustNew(2, 10, 4)
+	a := n.Transfer(0, 1, 0, 1) // occupies link for 4 cycles
+	b := n.Transfer(0, 1, 0, 1)
+	if a != 10 {
+		t.Fatalf("first arrival = %d, want 10", a)
+	}
+	if b != 14 {
+		t.Fatalf("second arrival = %d, want 14 (4-cycle serialisation)", b)
+	}
+	if n.Stats().QueueCycles != 4 {
+		t.Fatalf("QueueCycles = %d, want 4", n.Stats().QueueCycles)
+	}
+}
+
+func TestOppositeDirectionsDoNotContend(t *testing.T) {
+	n := MustNew(2, 10, 4)
+	n.Transfer(0, 1, 0, 1)
+	b := n.Transfer(1, 0, 0, 1)
+	if b != 10 {
+		t.Fatalf("reverse-direction transfer delayed: %d", b)
+	}
+	if n.Stats().QueueCycles != 0 {
+		t.Fatal("reverse direction accrued queueing")
+	}
+}
+
+func TestFlitsScaleOccupancy(t *testing.T) {
+	// A 4-flit (cache line) message occupies links 4x longer than a
+	// single-flit request.
+	n := MustNew(2, 10, 2)
+	n.Transfer(0, 1, 0, 4) // occupies 8 cycles
+	b := n.Transfer(0, 1, 0, 1)
+	if b != 18 {
+		t.Fatalf("arrival = %d, want 18", b)
+	}
+}
+
+func TestTransferPanicsOutOfRange(t *testing.T) {
+	n := MustNew(4, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range transfer should panic")
+		}
+	}()
+	n.Transfer(0, 4, 0, 1)
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	n := MustNew(8, 1, 1)
+	n.Transfer(0, 3, 0, 1)
+	n.Transfer(7, 2, 0, 1)
+	s := n.Stats()
+	if s.Transfers != 2 || s.TotalHops != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+	n.ResetStats()
+	if n.Stats().Transfers != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestArrivalNeverBeforeUncontended(t *testing.T) {
+	// Property: with arbitrary interleaved traffic, every transfer arrives
+	// no earlier than start + uncontended path latency.
+	check := func(pairs []uint16) bool {
+		n := MustNew(8, 60.0/7.0, 2)
+		now := int64(0)
+		for _, p := range pairs {
+			src := int(p) % 8
+			dst := int(p>>3) % 8
+			now += int64(p % 5)
+			got := n.Transfer(src, dst, now, 4)
+			hops := src - dst
+			if hops < 0 {
+				hops = -hops
+			}
+			if got < now+n.PathLatency(hops) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package mem models the off-chip memory subsystem of the baseline machine
+// (Table I): 260-cycle DRAM latency and 64 GB/s of bandwidth shared by all
+// cores. At the 4 GHz core clock, 64 GB/s is 16 bytes per cycle, so one
+// 64-byte line occupies the channel for 4 cycles; requests that exceed that
+// service rate queue, which is how L2 miss floods translate into growing
+// memory latency in the CPI results.
+package mem
+
+import "fmt"
+
+// Config describes the channel.
+type Config struct {
+	// LatencyCycles is the uncontended access latency (260).
+	LatencyCycles int64
+	// ServiceCycles is the channel occupancy per request — line size
+	// divided by bytes-per-cycle (64 B / 16 B-per-cycle = 4).
+	ServiceCycles int64
+}
+
+// DefaultConfig returns the paper's Table I memory parameters at 4 GHz.
+func DefaultConfig() Config {
+	return Config{LatencyCycles: 260, ServiceCycles: 4}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LatencyCycles < 0 {
+		return fmt.Errorf("mem: negative latency")
+	}
+	if c.ServiceCycles < 1 {
+		return fmt.Errorf("mem: service cycles must be >= 1, got %d", c.ServiceCycles)
+	}
+	return nil
+}
+
+// Stats aggregates channel activity.
+type Stats struct {
+	Requests    uint64
+	QueueCycles uint64 // total cycles requests waited for the channel
+	BusyCycles  uint64 // total channel occupancy
+}
+
+// AvgQueueCycles returns the mean queueing delay per request.
+func (s Stats) AvgQueueCycles() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.QueueCycles) / float64(s.Requests)
+}
+
+// Channel is one DRAM channel with a service-rate timeline.
+type Channel struct {
+	cfg      Config
+	nextFree int64
+	stats    Stats
+}
+
+// NewChannel builds a channel.
+func NewChannel(cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{cfg: cfg}, nil
+}
+
+// MustChannel is NewChannel that panics on bad configuration.
+func MustChannel(cfg Config) *Channel {
+	ch, err := NewChannel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ch
+}
+
+// Config returns the channel parameters.
+func (c *Channel) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Request issues a line fetch at cycle `now` and returns its completion
+// cycle: queueing behind earlier requests, then the full access latency.
+// Calls must be made in non-decreasing `now` order (the event queue
+// guarantees this).
+func (c *Channel) Request(now int64) int64 {
+	c.stats.Requests++
+	start := now
+	if c.nextFree > start {
+		c.stats.QueueCycles += uint64(c.nextFree - start)
+		start = c.nextFree
+	}
+	c.nextFree = start + c.cfg.ServiceCycles
+	c.stats.BusyCycles += uint64(c.cfg.ServiceCycles)
+	return start + c.cfg.LatencyCycles
+}
+
+// Writeback issues an eviction write at cycle `now`. Writebacks consume
+// bandwidth (they occupy the channel) but nothing waits on them, so no
+// completion time is returned.
+func (c *Channel) Writeback(now int64) {
+	c.stats.Requests++
+	start := now
+	if c.nextFree > start {
+		c.stats.QueueCycles += uint64(c.nextFree - start)
+		start = c.nextFree
+	}
+	c.nextFree = start + c.cfg.ServiceCycles
+	c.stats.BusyCycles += uint64(c.cfg.ServiceCycles)
+}
+
+// Utilisation returns the channel busy fraction over `elapsed` cycles.
+func (c *Channel) Utilisation(elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.stats.BusyCycles) / float64(elapsed)
+}

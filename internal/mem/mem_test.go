@@ -1,0 +1,96 @@
+package mem
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (Config{LatencyCycles: -1, ServiceCycles: 4}).Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if err := (Config{LatencyCycles: 10, ServiceCycles: 0}).Validate(); err == nil {
+		t.Fatal("zero service accepted")
+	}
+}
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	c := DefaultConfig()
+	if c.LatencyCycles != 260 {
+		t.Fatalf("latency = %d, Table I says 260", c.LatencyCycles)
+	}
+	// 64 GB/s at 4 GHz = 16 B/cycle; a 64 B line = 4 cycles.
+	if c.ServiceCycles != 4 {
+		t.Fatalf("service = %d, want 4", c.ServiceCycles)
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	ch := MustChannel(DefaultConfig())
+	if done := ch.Request(1000); done != 1260 {
+		t.Fatalf("completion = %d, want 1260", done)
+	}
+}
+
+func TestBandwidthQueueing(t *testing.T) {
+	ch := MustChannel(Config{LatencyCycles: 100, ServiceCycles: 4})
+	d1 := ch.Request(0)
+	d2 := ch.Request(0)
+	d3 := ch.Request(0)
+	if d1 != 100 || d2 != 104 || d3 != 108 {
+		t.Fatalf("completions = %d,%d,%d, want 100,104,108", d1, d2, d3)
+	}
+	if ch.Stats().QueueCycles != 4+8 {
+		t.Fatalf("queue cycles = %d, want 12", ch.Stats().QueueCycles)
+	}
+	if ch.Stats().AvgQueueCycles() != 4 {
+		t.Fatalf("avg queue = %v, want 4", ch.Stats().AvgQueueCycles())
+	}
+}
+
+func TestSpacedRequestsDoNotQueue(t *testing.T) {
+	ch := MustChannel(Config{LatencyCycles: 100, ServiceCycles: 4})
+	ch.Request(0)
+	if done := ch.Request(10); done != 110 {
+		t.Fatalf("spaced request completed at %d, want 110", done)
+	}
+	if ch.Stats().QueueCycles != 0 {
+		t.Fatal("spaced requests queued")
+	}
+}
+
+func TestWritebackConsumesBandwidth(t *testing.T) {
+	ch := MustChannel(Config{LatencyCycles: 100, ServiceCycles: 4})
+	ch.Writeback(0)
+	if done := ch.Request(0); done != 104 {
+		t.Fatalf("read behind writeback completed at %d, want 104", done)
+	}
+}
+
+func TestUtilisation(t *testing.T) {
+	ch := MustChannel(Config{LatencyCycles: 100, ServiceCycles: 4})
+	ch.Request(0)
+	ch.Request(0)
+	if got := ch.Utilisation(16); got != 0.5 {
+		t.Fatalf("utilisation = %v, want 0.5", got)
+	}
+	if ch.Utilisation(0) != 0 {
+		t.Fatal("zero elapsed should yield 0")
+	}
+}
+
+func TestStatsZeroValue(t *testing.T) {
+	var s Stats
+	if s.AvgQueueCycles() != 0 {
+		t.Fatal("zero stats avg queue should be 0")
+	}
+}
+
+func TestMustChannelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustChannel(Config{ServiceCycles: 0})
+}

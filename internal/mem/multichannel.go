@@ -1,0 +1,78 @@
+package mem
+
+import "fmt"
+
+// Memory models a multi-channel DRAM subsystem: the aggregate 64 GB/s of
+// Table I split across independent channels, with lines interleaved by
+// address hash. A single busy channel no longer serialises the whole chip,
+// matching how real controllers spread bank conflicts — the single-channel
+// Channel remains available for the baseline configuration and for
+// modelling a fully shared bottleneck.
+type Memory struct {
+	channels []*Channel
+	mask     uint64
+	shift    uint
+}
+
+// NewMemory builds a memory subsystem with `channels` channels (must be a
+// power of two). Each channel gets the full per-request latency; the
+// service rate divides the aggregate bandwidth, so total throughput matches
+// a single channel of cfg's service rate times `channels`.
+func NewMemory(channels int, cfg Config) (*Memory, error) {
+	if channels < 1 || channels&(channels-1) != 0 {
+		return nil, fmt.Errorf("mem: channels must be a positive power of two, got %d", channels)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{mask: uint64(channels - 1), shift: 6} // interleave at line granularity
+	for i := 0; i < channels; i++ {
+		ch, err := NewChannel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.channels = append(m.channels, ch)
+	}
+	return m, nil
+}
+
+// MustMemory is NewMemory that panics on invalid parameters.
+func MustMemory(channels int, cfg Config) *Memory {
+	m, err := NewMemory(channels, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Channels returns the channel count.
+func (m *Memory) Channels() int { return len(m.channels) }
+
+func (m *Memory) channelFor(addr uint64) *Channel {
+	blk := addr >> m.shift
+	// Mix higher bits in so strided streams spread across channels.
+	blk ^= blk >> 7
+	return m.channels[blk&m.mask]
+}
+
+// Request issues a line fetch for addr at cycle now on its home channel.
+func (m *Memory) Request(addr uint64, now int64) int64 {
+	return m.channelFor(addr).Request(now)
+}
+
+// Writeback issues an eviction write for addr at cycle now.
+func (m *Memory) Writeback(addr uint64, now int64) {
+	m.channelFor(addr).Writeback(now)
+}
+
+// Stats aggregates all channels' counters.
+func (m *Memory) Stats() Stats {
+	var s Stats
+	for _, ch := range m.channels {
+		cs := ch.Stats()
+		s.Requests += cs.Requests
+		s.QueueCycles += cs.QueueCycles
+		s.BusyCycles += cs.BusyCycles
+	}
+	return s
+}

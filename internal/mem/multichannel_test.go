@@ -1,0 +1,101 @@
+package mem
+
+import "testing"
+
+func TestNewMemoryValidation(t *testing.T) {
+	if _, err := NewMemory(0, DefaultConfig()); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := NewMemory(3, DefaultConfig()); err == nil {
+		t.Fatal("non-power-of-two channels accepted")
+	}
+	if _, err := NewMemory(2, Config{ServiceCycles: 0}); err == nil {
+		t.Fatal("bad channel config accepted")
+	}
+	m, err := NewMemory(4, DefaultConfig())
+	if err != nil || m.Channels() != 4 {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustMemoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustMemory(3, DefaultConfig())
+}
+
+func TestSingleChannelEquivalence(t *testing.T) {
+	// A 1-channel Memory must behave exactly like a bare Channel.
+	m := MustMemory(1, Config{LatencyCycles: 100, ServiceCycles: 4})
+	c := MustChannel(Config{LatencyCycles: 100, ServiceCycles: 4})
+	for i := int64(0); i < 50; i++ {
+		a := m.Request(uint64(i)<<6, i)
+		b := c.Request(i)
+		if a != b {
+			t.Fatalf("request %d: memory %d vs channel %d", i, a, b)
+		}
+	}
+}
+
+func TestChannelsAbsorbParallelism(t *testing.T) {
+	// Back-to-back requests to distinct lines: with enough channels most
+	// see no queueing, so average completion beats a single channel's.
+	single := MustMemory(1, Config{LatencyCycles: 100, ServiceCycles: 8})
+	quad := MustMemory(4, Config{LatencyCycles: 100, ServiceCycles: 8})
+	var sumS, sumQ int64
+	for i := 0; i < 64; i++ {
+		addr := uint64(i) << 6
+		sumS += single.Request(addr, 0)
+		sumQ += quad.Request(addr, 0)
+	}
+	if sumQ >= sumS {
+		t.Fatalf("4 channels no faster than 1: %d vs %d", sumQ, sumS)
+	}
+	if quad.Stats().QueueCycles >= single.Stats().QueueCycles {
+		t.Fatal("4 channels queued as much as 1")
+	}
+}
+
+func TestInterleavingSpreadsAddresses(t *testing.T) {
+	m := MustMemory(4, DefaultConfig())
+	counts := map[*Channel]int{}
+	for i := 0; i < 4000; i++ {
+		counts[m.channelFor(uint64(i)<<6)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d channels used", len(counts))
+	}
+	for ch, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Fatalf("channel %p got %d of 4000 (imbalanced)", ch, n)
+		}
+	}
+}
+
+func TestSameLineSameChannel(t *testing.T) {
+	m := MustMemory(8, DefaultConfig())
+	a := m.channelFor(0x12340)
+	for i := 0; i < 10; i++ {
+		if m.channelFor(0x12340) != a {
+			t.Fatal("line moved channels between requests")
+		}
+	}
+}
+
+func TestMemoryStatsAggregate(t *testing.T) {
+	m := MustMemory(2, Config{LatencyCycles: 10, ServiceCycles: 4})
+	for i := 0; i < 10; i++ {
+		m.Request(uint64(i)<<6, 0)
+	}
+	m.Writeback(1<<6, 0)
+	s := m.Stats()
+	if s.Requests != 11 {
+		t.Fatalf("requests = %d, want 11", s.Requests)
+	}
+	if s.BusyCycles != 44 {
+		t.Fatalf("busy = %d, want 44", s.BusyCycles)
+	}
+}

@@ -1,0 +1,149 @@
+// Package montecarlo implements the paper's comparative Monte Carlo
+// evaluation (Section IV.A, Fig. 7). The space of 8-core workload mixes
+// drawn from 26 SPEC components is ~14 million combinations — far too many
+// to simulate — so, exactly as the paper does, policies are compared on
+// MSA-projected miss counts: draw 8 workloads with repetition, run the
+// Unrestricted and Bank-aware partitioning algorithms on their miss curves,
+// and compare the projected total misses against the static even split
+// (16 ways per core).
+package montecarlo
+
+import (
+	"fmt"
+	"sort"
+
+	"bankaware/internal/core"
+	"bankaware/internal/nuca"
+	"bankaware/internal/stats"
+	"bankaware/internal/trace"
+)
+
+// Config parametrises the experiment.
+type Config struct {
+	// Trials is the number of random workload mixes (1000 in the paper).
+	Trials int
+	// Seed drives the workload draws.
+	Seed uint64
+	// Unrestricted and BankAware carry the allocator parameters.
+	Unrestricted core.UnrestrictedConfig
+	BankAware    core.BankAwareConfig
+	// Workloads is the pool to draw from; nil selects the full catalog.
+	Workloads []trace.Spec
+}
+
+// DefaultConfig reproduces the paper's experiment.
+func DefaultConfig() Config {
+	return Config{
+		Trials:       1000,
+		Seed:         2009, // the venue year; any fixed seed reproduces
+		Unrestricted: core.DefaultUnrestricted(),
+		BankAware:    core.DefaultBankAware(),
+	}
+}
+
+// Trial is one random mix's outcome. Ratios are relative to the even
+// split's projected misses (1.0 = no reduction, 0 = all misses removed),
+// the y-axis of Fig. 7.
+type Trial struct {
+	Workloads         [nuca.NumCores]string
+	EqualMisses       float64
+	UnrestrictedRatio float64
+	BankAwareRatio    float64
+}
+
+// Results aggregates the experiment, with trials sorted by the Unrestricted
+// ratio like the paper's figure ("sorted the 1000 results with respect to
+// the miss rate reduction of the Unrestricted scheme").
+type Results struct {
+	Trials                []Trial
+	MeanUnrestrictedRatio float64
+	MeanBankAwareRatio    float64
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("montecarlo: trials must be positive, got %d", cfg.Trials)
+	}
+	pool := cfg.Workloads
+	if pool == nil {
+		pool = trace.Catalog()
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("montecarlo: empty workload pool")
+	}
+	// Pre-compute each workload's projected miss curve. Miss counts are
+	// the miss-ratio curve scaled by the workload's access intensity, so
+	// that (as in the paper's MSA data, which counts real accesses) a
+	// memory-hungry workload weighs more than a compute-bound one.
+	curves := make([]core.MissCurve, len(pool))
+	for i, s := range pool {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		ratios := s.MissCurve(trace.MaxWays)
+		c := make(core.MissCurve, len(ratios))
+		weight := s.MemPerKI
+		if weight <= 0 {
+			weight = 1
+		}
+		for w, r := range ratios {
+			c[w] = r * weight
+		}
+		curves[i] = c
+	}
+
+	rng := stats.NewRNG(cfg.Seed, cfg.Seed^0xa5a5a5a5a5a5a5a5)
+	equalWays := make([]int, nuca.NumCores)
+	for i := range equalWays {
+		equalWays[i] = cfg.Unrestricted.TotalWays / nuca.NumCores
+	}
+
+	res := &Results{Trials: make([]Trial, 0, cfg.Trials)}
+	var sumU, sumB float64
+	for t := 0; t < cfg.Trials; t++ {
+		mix := make([]core.MissCurve, nuca.NumCores)
+		var tr Trial
+		for c := 0; c < nuca.NumCores; c++ {
+			k := rng.IntN(len(pool))
+			mix[c] = curves[k]
+			tr.Workloads[c] = pool[k].Name
+		}
+		equalM, err := core.ProjectTotalMisses(mix, equalWays)
+		if err != nil {
+			return nil, err
+		}
+		ua, err := core.Unrestricted(mix, cfg.Unrestricted)
+		if err != nil {
+			return nil, err
+		}
+		uM, _ := core.ProjectTotalMisses(mix, ua)
+		ba, err := core.BankAware(mix, cfg.BankAware)
+		if err != nil {
+			return nil, err
+		}
+		bM, _ := core.ProjectTotalMisses(mix, ba.Ways[:])
+
+		tr.EqualMisses = equalM
+		tr.UnrestrictedRatio = stats.Ratio(uM, equalM)
+		tr.BankAwareRatio = stats.Ratio(bM, equalM)
+		sumU += tr.UnrestrictedRatio
+		sumB += tr.BankAwareRatio
+		res.Trials = append(res.Trials, tr)
+	}
+	sort.Slice(res.Trials, func(i, j int) bool {
+		return res.Trials[i].UnrestrictedRatio < res.Trials[j].UnrestrictedRatio
+	})
+	res.MeanUnrestrictedRatio = sumU / float64(cfg.Trials)
+	res.MeanBankAwareRatio = sumB / float64(cfg.Trials)
+	return res, nil
+}
+
+// Summary renders the Fig. 7 headline numbers.
+func (r *Results) Summary() string {
+	return fmt.Sprintf(
+		"trials=%d  mean relative miss ratio vs equal: unrestricted %.3f (%.1f%% reduction), bank-aware %.3f (%.1f%% reduction)",
+		len(r.Trials),
+		r.MeanUnrestrictedRatio, 100*(1-r.MeanUnrestrictedRatio),
+		r.MeanBankAwareRatio, 100*(1-r.MeanBankAwareRatio))
+}

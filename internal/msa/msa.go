@@ -1,0 +1,222 @@
+// Package msa implements the paper's cache-profiling substrate: Mattson's
+// stack-distance algorithm (Section III.A), in both an exact form (full
+// tags, every set) and the proposed low-overhead hardware form — 12-bit
+// partial tags, 1-in-32 set sampling and a 9/16 assignable-capacity cap —
+// together with the Table II hardware-overhead model.
+//
+// The profiler monitors the L2 access stream of one core as if that core had
+// a dedicated cache of MaxWays ways: on every access it finds the block's
+// depth in the per-set LRU stack and increments the matching counter
+// (Counter_1 = MRU ... Counter_K = LRU, Counter_{K+1} = miss). By the LRU
+// inclusion property, the resulting histogram projects the miss count of
+// every smaller cache in one pass: misses(w ways) = misses + hits deeper
+// than w.
+package msa
+
+import (
+	"fmt"
+
+	"bankaware/internal/trace"
+)
+
+// Config parametrises a profiler.
+type Config struct {
+	// Sets is the set count of the monitored equivalent cache view (2048
+	// for the baseline 16 MB / 128-way-equivalent L2). Must be a power of
+	// two.
+	Sets int
+	// MaxWays is the deepest stack position tracked — the maximum capacity
+	// assignable to one core. The paper caps it at 9/16 of the 128-way
+	// total, i.e. 72 ways.
+	MaxWays int
+	// SampleLog2 selects 1-in-2^SampleLog2 set sampling (5 → 1-in-32).
+	// Zero profiles every set (the exact configuration).
+	SampleLog2 int
+	// PartialTagBits truncates stored tags to this many bits (12 in the
+	// paper). Zero stores full tags. Narrow tags alias: unrelated blocks
+	// can match, inflating shallow hit counts — the accuracy/overhead
+	// trade-off the paper quantifies at "within 5%" for 12 bits + 1-in-32.
+	PartialTagBits int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("msa: sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.MaxWays < 1 || c.MaxWays > 1024 {
+		return fmt.Errorf("msa: max ways %d outside [1,1024]", c.MaxWays)
+	}
+	if c.SampleLog2 < 0 || 1<<c.SampleLog2 > c.Sets {
+		return fmt.Errorf("msa: sample rate 1-in-%d exceeds set count %d", 1<<c.SampleLog2, c.Sets)
+	}
+	if c.PartialTagBits < 0 || c.PartialTagBits > 64 {
+		return fmt.Errorf("msa: partial tag bits %d outside [0,64]", c.PartialTagBits)
+	}
+	return nil
+}
+
+// BaselineExact returns the exact profiler configuration for the paper's
+// baseline L2 view (2048 sets, 72-way cap, no sampling, full tags).
+func BaselineExact() Config {
+	return Config{Sets: 2048, MaxWays: 72}
+}
+
+// BaselineHardware returns the proposed low-overhead hardware configuration:
+// 12-bit partial tags, 1-in-32 set sampling, 72-way cap.
+func BaselineHardware() Config {
+	return Config{Sets: 2048, MaxWays: 72, SampleLog2: 5, PartialTagBits: 12}
+}
+
+// Profiler is one core's MSA stack-distance monitor.
+type Profiler struct {
+	cfg       Config
+	tagMask   uint64
+	setMask   uint64
+	setShift  uint
+	stacks    [][]uint64 // per sampled set: tags, MRU first
+	counters  []uint64   // [0..MaxWays-1] hit depth, [MaxWays] misses
+	accesses  uint64
+	sampled   uint64
+	scale     float64 // sampling scale factor (2^SampleLog2)
+	shiftSets uint    // log2(Sets), for tag extraction
+}
+
+// NewProfiler builds a profiler for cfg.
+func NewProfiler(cfg Config) (*Profiler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nSampled := cfg.Sets >> cfg.SampleLog2
+	p := &Profiler{
+		cfg:      cfg,
+		setMask:  uint64(cfg.Sets - 1),
+		stacks:   make([][]uint64, nSampled),
+		counters: make([]uint64, cfg.MaxWays+1),
+		scale:    float64(int(1) << cfg.SampleLog2),
+	}
+	for s := uint(0); 1<<s < cfg.Sets; s++ {
+		p.shiftSets = s + 1
+	}
+	if cfg.PartialTagBits == 0 || cfg.PartialTagBits >= 64 {
+		p.tagMask = ^uint64(0)
+	} else {
+		p.tagMask = 1<<cfg.PartialTagBits - 1
+	}
+	return p, nil
+}
+
+// MustProfiler is NewProfiler that panics on bad configuration.
+func MustProfiler(cfg Config) *Profiler {
+	p, err := NewProfiler(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the profiler's configuration.
+func (p *Profiler) Config() Config { return p.cfg }
+
+// Access records one L2 access by the monitored core.
+func (p *Profiler) Access(addr trace.Addr) {
+	p.accesses++
+	blk := uint64(addr) >> trace.BlockBits
+	set := blk & p.setMask
+	if set&(1<<p.cfg.SampleLog2-1) != 0 {
+		return // set not sampled
+	}
+	p.sampled++
+	tag := (blk >> p.shiftSets) & p.tagMask
+	idx := set >> p.cfg.SampleLog2
+	stack := p.stacks[idx]
+
+	// Find the tag's depth in the LRU stack.
+	depth := -1
+	for i, t := range stack {
+		if t == tag {
+			depth = i
+			break
+		}
+	}
+	switch {
+	case depth >= 0:
+		p.counters[depth]++
+		copy(stack[1:depth+1], stack[:depth])
+		stack[0] = tag
+	default:
+		p.counters[p.cfg.MaxWays]++ // beyond tracked capacity: a miss
+		if len(stack) < p.cfg.MaxWays {
+			stack = append(stack, 0)
+		}
+		copy(stack[1:], stack)
+		stack[0] = tag
+		p.stacks[idx] = stack
+	}
+}
+
+// Accesses returns the number of accesses observed (sampled or not).
+func (p *Profiler) Accesses() uint64 { return p.accesses }
+
+// SampledAccesses returns the number of accesses that hit sampled sets.
+func (p *Profiler) SampledAccesses() uint64 { return p.sampled }
+
+// Histogram returns a copy of the raw counters: index d < MaxWays is the
+// number of sampled hits at stack depth d+1 (d = 0 is MRU), index MaxWays is
+// the sampled miss count.
+func (p *Profiler) Histogram() []uint64 {
+	return append([]uint64(nil), p.counters...)
+}
+
+// MissCurve projects the histogram into estimated misses per possible
+// allocation: element w is the estimated number of misses (scaled back up
+// through the sampling factor) the core would suffer with w dedicated ways,
+// for w = 0..MaxWays. Element 0 equals all sampled activity (everything
+// misses with no capacity); the curve is non-increasing.
+func (p *Profiler) MissCurve() []float64 {
+	curve := make([]float64, p.cfg.MaxWays+1)
+	acc := float64(p.counters[p.cfg.MaxWays])
+	curve[p.cfg.MaxWays] = acc * p.scale
+	for w := p.cfg.MaxWays - 1; w >= 0; w-- {
+		acc += float64(p.counters[w])
+		curve[w] = acc * p.scale
+	}
+	return curve
+}
+
+// MissRatioCurve is MissCurve normalised by the (scaled) sampled access
+// count, giving the projected miss ratio at each allocation — the y-axis of
+// the paper's Fig. 3.
+func (p *Profiler) MissRatioCurve() []float64 {
+	curve := p.MissCurve()
+	total := float64(p.sampled) * p.scale
+	if total == 0 {
+		return curve
+	}
+	for i := range curve {
+		curve[i] /= total
+	}
+	return curve
+}
+
+// Decay halves every counter. The epoch controller calls it after each
+// repartitioning so the profile is an exponentially weighted window and
+// tracks phase changes instead of averaging over the whole run.
+func (p *Profiler) Decay() {
+	for i := range p.counters {
+		p.counters[i] >>= 1
+	}
+	p.accesses >>= 1
+	p.sampled >>= 1
+}
+
+// Reset clears counters and stacks entirely.
+func (p *Profiler) Reset() {
+	for i := range p.counters {
+		p.counters[i] = 0
+	}
+	for i := range p.stacks {
+		p.stacks[i] = p.stacks[i][:0]
+	}
+	p.accesses, p.sampled = 0, 0
+}

@@ -1,0 +1,102 @@
+package msa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bankaware/internal/stats"
+	"bankaware/internal/trace"
+)
+
+func TestHistogramMassConservation(t *testing.T) {
+	// Property: hits + misses in the histogram always equal the sampled
+	// access count, for any traffic and any sampling configuration.
+	check := func(seed uint64, sampleRaw, tagRaw uint8) bool {
+		cfg := Config{
+			Sets:           64,
+			MaxWays:        16,
+			SampleLog2:     int(sampleRaw % 4),
+			PartialTagBits: int(tagRaw%3) * 8, // 0, 8, 16
+		}
+		p := MustProfiler(cfg)
+		rng := stats.NewRNG(seed, seed^0xcafe)
+		for i := 0; i < 5000; i++ {
+			p.Access(trace.Addr(rng.IntN(1<<14)) << trace.BlockBits)
+		}
+		var sum uint64
+		for _, v := range p.Histogram() {
+			sum += v
+		}
+		return sum == p.SampledAccesses()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayPreservesCurveShape(t *testing.T) {
+	// Decay halves counts but must not reorder the miss curve: the decayed
+	// curve stays monotone and roughly half the original.
+	p := MustProfiler(Config{Sets: 32, MaxWays: 8})
+	rng := stats.NewRNG(8, 9)
+	for i := 0; i < 60_000; i++ {
+		p.Access(trace.Addr(rng.IntN(600)) << trace.BlockBits)
+	}
+	before := p.MissCurve()
+	p.Decay()
+	after := p.MissCurve()
+	for w := 1; w < len(after); w++ {
+		if after[w] > after[w-1] {
+			t.Fatalf("decayed curve not monotone at %d", w)
+		}
+	}
+	for w := range after {
+		if before[w] == 0 {
+			continue
+		}
+		ratio := after[w] / before[w]
+		if ratio < 0.40 || ratio > 0.60 {
+			t.Fatalf("decay ratio at %d ways = %.3f, want ~0.5", w, ratio)
+		}
+	}
+}
+
+func TestRepeatedDecayDrainsToZero(t *testing.T) {
+	p := MustProfiler(Config{Sets: 8, MaxWays: 4})
+	for i := 0; i < 1000; i++ {
+		p.Access(trace.Addr(i%40) << trace.BlockBits)
+	}
+	for k := 0; k < 64; k++ {
+		p.Decay()
+	}
+	for _, v := range p.Histogram() {
+		if v != 0 {
+			t.Fatal("64 decays left residual counts")
+		}
+	}
+	if p.Accesses() != 0 {
+		t.Fatal("64 decays left residual accesses")
+	}
+}
+
+func TestMissCurveScaleInvariance(t *testing.T) {
+	// Property: the miss-RATIO curve of a sampled profiler converges to
+	// the all-sets profiler's on uniform traffic (the scale factor only
+	// affects counts, not ratios). Uses identical per-set traffic so
+	// sampling introduces no selection bias.
+	full := MustProfiler(Config{Sets: 32, MaxWays: 8})
+	sampled := MustProfiler(Config{Sets: 32, MaxWays: 8, SampleLog2: 2})
+	rng := stats.NewRNG(77, 78)
+	for i := 0; i < 200_000; i++ {
+		a := trace.Addr(rng.IntN(500)) << trace.BlockBits
+		full.Access(a)
+		sampled.Access(a)
+	}
+	f, s := full.MissRatioCurve(), sampled.MissRatioCurve()
+	for w := range f {
+		d := f[w] - s[w]
+		if d < -0.05 || d > 0.05 {
+			t.Fatalf("ratio curves diverge at %d ways: %.3f vs %.3f", w, f[w], s[w])
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package nuca
+
+import (
+	"fmt"
+
+	"bankaware/internal/cache"
+	"bankaware/internal/trace"
+)
+
+// Scheme selects a bank-aggregation policy (Fig. 4): how several physical
+// banks are stitched into one logical partition.
+type Scheme int
+
+const (
+	// Cascade chains the banks head to tail: allocations enter the head
+	// bank as MRU, evictions demote down the chain, and a hit in a deeper
+	// bank promotes the block back to the head. It emulates a single large
+	// LRU most faithfully and can stitch arbitrary fractions of banks, but
+	// every allocation ripples data through the chain — the "prohibitively
+	// high" migration rate the paper measured.
+	Cascade Scheme = iota
+	// AddressHash statically hashes blocks across the banks. No migration,
+	// but all banks must contribute equal capacity, and non-power-of-two
+	// bank counts need modulo hardware.
+	AddressHash
+	// Parallel lets a block live in any bank: lookups probe all banks
+	// (wider directory power), allocation is round-robin. Migration-free
+	// like AddressHash but without the power-of-two restriction.
+	Parallel
+	// TwoLevel is the limited structure of Fig. 4c the paper adopts:
+	// cascading depth capped at two, with the first level run as Parallel.
+	// The last bank acts as the second level; evictions from the first
+	// level demote into it and hits there promote back.
+	TwoLevel
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Cascade:
+		return "Cascade"
+	case AddressHash:
+		return "AddressHash"
+	case Parallel:
+		return "Parallel"
+	case TwoLevel:
+		return "TwoLevel"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// AggregateStats reports the cost metrics that distinguish the schemes.
+type AggregateStats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Migrations uint64 // inter-bank block moves (promotions + demotions)
+	Lookups    uint64 // bank probes performed (directory power proxy)
+}
+
+// MissRatio returns misses/accesses.
+func (s AggregateStats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MigrationRate returns migrations per access.
+func (s AggregateStats) MigrationRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Migrations) / float64(s.Accesses)
+}
+
+// LookupsPerAccess returns directory probes per access.
+func (s AggregateStats) LookupsPerAccess() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Lookups) / float64(s.Accesses)
+}
+
+// Aggregate runs one core's partition of several banks under a scheme. It
+// is the standalone harness behind the Fig. 4 comparison; the full-system
+// simulator uses the same Parallel/TwoLevel semantics through its own bank
+// fabric.
+type Aggregate struct {
+	scheme Scheme
+	banks  []*cache.Bank
+	core   int
+	rr     int
+	stats  AggregateStats
+}
+
+// NewAggregate wires banks (already configured and partitioned) into an
+// aggregate for core. Cascade and TwoLevel need at least two banks;
+// AddressHash requires equal bank capacities.
+func NewAggregate(scheme Scheme, banks []*cache.Bank, core int) (*Aggregate, error) {
+	if len(banks) == 0 {
+		return nil, fmt.Errorf("nuca: aggregate needs at least one bank")
+	}
+	if (scheme == Cascade || scheme == TwoLevel) && len(banks) < 2 {
+		return nil, fmt.Errorf("nuca: %v aggregation needs at least two banks", scheme)
+	}
+	if scheme == AddressHash {
+		blocks := banks[0].Config().Blocks()
+		for _, b := range banks[1:] {
+			if b.Config().Blocks() != blocks {
+				return nil, fmt.Errorf("nuca: AddressHash requires equal bank capacities")
+			}
+		}
+	}
+	return &Aggregate{scheme: scheme, banks: banks, core: core}, nil
+}
+
+// MustAggregate is NewAggregate that panics on error.
+func MustAggregate(scheme Scheme, banks []*cache.Bank, core int) *Aggregate {
+	a, err := NewAggregate(scheme, banks, core)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Stats returns a snapshot of the aggregate's counters.
+func (a *Aggregate) Stats() AggregateStats { return a.stats }
+
+// Scheme returns the active aggregation policy.
+func (a *Aggregate) Scheme() Scheme { return a.scheme }
+
+// Access performs one reference, returning whether it hit anywhere in the
+// aggregate and in which bank.
+func (a *Aggregate) Access(addr trace.Addr, write bool) (hit bool, bank int) {
+	a.stats.Accesses++
+	switch a.scheme {
+	case AddressHash:
+		hit, bank = a.accessHashed(addr, write)
+	case Parallel:
+		hit, bank = a.accessParallel(addr, write, len(a.banks))
+	case Cascade:
+		hit, bank = a.accessCascade(addr, write)
+	case TwoLevel:
+		hit, bank = a.accessTwoLevel(addr, write)
+	default:
+		panic("nuca: unknown aggregation scheme")
+	}
+	if hit {
+		a.stats.Hits++
+	} else {
+		a.stats.Misses++
+	}
+	return hit, bank
+}
+
+// hashBank statically maps a block to a bank index. Mixing the block bits
+// before the modulo keeps non-power-of-two bank counts balanced.
+func (a *Aggregate) hashBank(addr trace.Addr) int {
+	blk := uint64(addr) >> trace.BlockBits
+	blk ^= blk >> 17
+	blk *= 0x9e3779b97f4a7c15
+	blk ^= blk >> 29
+	return int(blk % uint64(len(a.banks)))
+}
+
+func (a *Aggregate) accessHashed(addr trace.Addr, write bool) (bool, int) {
+	b := a.hashBank(addr)
+	a.stats.Lookups++
+	res := a.banks[b].Access(addr, a.core, write)
+	return res.Hit, b
+}
+
+// accessParallel probes the first n banks; on miss it allocates round-robin.
+func (a *Aggregate) accessParallel(addr trace.Addr, write bool, n int) (bool, int) {
+	for i := 0; i < n; i++ {
+		a.stats.Lookups++
+		if a.banks[i].Probe(addr) {
+			res := a.banks[i].Access(addr, a.core, write)
+			if !res.Hit {
+				panic("nuca: probe/access disagree")
+			}
+			return true, i
+		}
+	}
+	b := a.rr % n
+	a.rr++
+	a.banks[b].Access(addr, a.core, write)
+	return false, b
+}
+
+func (a *Aggregate) accessCascade(addr trace.Addr, write bool) (bool, int) {
+	// Probe the chain from the head.
+	found := -1
+	for i, b := range a.banks {
+		a.stats.Lookups++
+		if b.Probe(addr) {
+			found = i
+			break
+		}
+	}
+	if found == 0 {
+		res := a.banks[0].Access(addr, a.core, write)
+		if !res.Hit {
+			panic("nuca: probe/access disagree at head")
+		}
+		return true, 0
+	}
+	dirty := write
+	if found > 0 {
+		// Promotion: remove from the deep bank, reinsert at the head.
+		_, wasDirty := a.banks[found].Invalidate(addr)
+		dirty = dirty || wasDirty
+		a.stats.Migrations++ // the promotion move
+	}
+	// Insert at the head and ripple evictions down the chain. The freed
+	// slot in bank `found` (if any) gives the ripple a place to stop.
+	a.demoteChain(0, addr, dirty)
+	if found > 0 {
+		return true, found
+	}
+	return false, 0
+}
+
+// demoteChain inserts addr at bank level i, demoting evicted blocks into
+// successive banks until the chain ends or a bank absorbs the victim
+// without evicting.
+func (a *Aggregate) demoteChain(i int, addr trace.Addr, dirty bool) {
+	for ; i < len(a.banks); i++ {
+		res := a.banks[i].Insert(addr, a.core, dirty)
+		if !res.VictimValid {
+			return
+		}
+		if i+1 < len(a.banks) {
+			a.stats.Migrations++ // demotion move to the next bank
+		}
+		addr, dirty = res.VictimAddr, res.VictimDirty
+	}
+}
+
+func (a *Aggregate) accessTwoLevel(addr trace.Addr, write bool) (bool, int) {
+	n1 := len(a.banks) - 1 // first level: all but the last bank, Parallel
+	for i := 0; i < n1; i++ {
+		a.stats.Lookups++
+		if a.banks[i].Probe(addr) {
+			res := a.banks[i].Access(addr, a.core, write)
+			if !res.Hit {
+				panic("nuca: probe/access disagree in level 1")
+			}
+			return true, i
+		}
+	}
+	second := len(a.banks) - 1
+	a.stats.Lookups++
+	if a.banks[second].Probe(addr) {
+		// Promote to level 1; demote the displaced block to level 2.
+		_, wasDirty := a.banks[second].Invalidate(addr)
+		a.stats.Migrations++
+		b := a.rr % n1
+		a.rr++
+		res := a.banks[b].Insert(addr, a.core, write || wasDirty)
+		if res.VictimValid {
+			a.stats.Migrations++
+			a.banks[second].Insert(res.VictimAddr, a.core, res.VictimDirty)
+		}
+		return true, second
+	}
+	// Miss: fill level 1, demoting its victim into level 2.
+	b := a.rr % n1
+	a.rr++
+	res := a.banks[b].Access(addr, a.core, write)
+	if res.VictimValid {
+		a.stats.Migrations++
+		a.banks[second].Insert(res.VictimAddr, a.core, res.VictimDirty)
+	}
+	return false, b
+}

@@ -1,0 +1,244 @@
+package nuca
+
+import (
+	"testing"
+
+	"bankaware/internal/cache"
+	"bankaware/internal/stats"
+	"bankaware/internal/trace"
+)
+
+func mkBanks(n, sets, ways int) []*cache.Bank {
+	banks := make([]*cache.Bank, n)
+	for i := range banks {
+		banks[i] = cache.MustBank(cache.Config{Sets: sets, Ways: ways})
+	}
+	return banks
+}
+
+func addr(blk uint64) trace.Addr { return trace.Addr(blk << trace.BlockBits) }
+
+func TestNewAggregateValidation(t *testing.T) {
+	if _, err := NewAggregate(Parallel, nil, 0); err == nil {
+		t.Fatal("empty bank list accepted")
+	}
+	if _, err := NewAggregate(Cascade, mkBanks(1, 4, 2), 0); err == nil {
+		t.Fatal("single-bank cascade accepted")
+	}
+	if _, err := NewAggregate(TwoLevel, mkBanks(1, 4, 2), 0); err == nil {
+		t.Fatal("single-bank two-level accepted")
+	}
+	uneven := []*cache.Bank{
+		cache.MustBank(cache.Config{Sets: 4, Ways: 2}),
+		cache.MustBank(cache.Config{Sets: 8, Ways: 2}),
+	}
+	if _, err := NewAggregate(AddressHash, uneven, 0); err == nil {
+		t.Fatal("uneven AddressHash accepted")
+	}
+	if _, err := NewAggregate(Parallel, uneven, 0); err != nil {
+		t.Fatalf("Parallel should allow uneven banks: %v", err)
+	}
+}
+
+func TestMustAggregatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustAggregate(Cascade, mkBanks(1, 4, 2), 0)
+}
+
+func TestSchemeString(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		Cascade: "Cascade", AddressHash: "AddressHash",
+		Parallel: "Parallel", TwoLevel: "TwoLevel", Scheme(9): "Scheme(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestAddressHashDeterministicPlacement(t *testing.T) {
+	a := MustAggregate(AddressHash, mkBanks(3, 8, 2), 0)
+	_, b1 := a.Access(addr(12345), false)
+	hit, b2 := a.Access(addr(12345), false)
+	if !hit || b1 != b2 {
+		t.Fatalf("rehash moved block: %d vs %d (hit=%v)", b1, b2, hit)
+	}
+	if a.Stats().Migrations != 0 {
+		t.Fatal("AddressHash migrated")
+	}
+}
+
+func TestAddressHashBalance(t *testing.T) {
+	a := MustAggregate(AddressHash, mkBanks(3, 64, 8), 0)
+	counts := make([]int, 3)
+	for i := uint64(0); i < 3000; i++ {
+		_, b := a.Access(addr(i), false)
+		counts[b]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("bank %d got %d of 3000 accesses (imbalanced hash)", i, c)
+		}
+	}
+}
+
+func TestParallelHitsAnywhere(t *testing.T) {
+	a := MustAggregate(Parallel, mkBanks(3, 4, 2), 0)
+	// Fill round-robin: consecutive misses land in different banks.
+	seen := map[int]bool{}
+	for i := uint64(0); i < 3; i++ {
+		_, b := a.Access(addr(i*64), false)
+		seen[b] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round-robin used %d banks, want 3", len(seen))
+	}
+	// All three blocks hit, wherever they live.
+	for i := uint64(0); i < 3; i++ {
+		hit, _ := a.Access(addr(i*64), false)
+		if !hit {
+			t.Fatalf("block %d missed on re-access", i)
+		}
+	}
+	if a.Stats().Migrations != 0 {
+		t.Fatal("Parallel migrated")
+	}
+}
+
+func TestParallelLookupCost(t *testing.T) {
+	a := MustAggregate(Parallel, mkBanks(4, 4, 2), 0)
+	a.Access(addr(1), false) // miss: probes all 4 banks
+	if got := a.Stats().Lookups; got != 4 {
+		t.Fatalf("miss lookups = %d, want 4", got)
+	}
+	h := MustAggregate(AddressHash, mkBanks(4, 4, 2), 0)
+	h.Access(addr(1), false)
+	if got := h.Stats().Lookups; got != 1 {
+		t.Fatalf("hash lookups = %d, want 1", got)
+	}
+}
+
+func TestCascadeEmulatesLRU(t *testing.T) {
+	// Two 1-set x 2-way banks chained = one 4-entry LRU. Verify against a
+	// reference LRU over random traffic with a small block universe.
+	a := MustAggregate(Cascade, mkBanks(2, 1, 2), 0)
+	var ref []trace.Addr
+	rng := stats.NewRNG(8, 15)
+	for i := 0; i < 5000; i++ {
+		x := addr(uint64(rng.IntN(8)))
+		refHit := false
+		for k, v := range ref {
+			if v == x {
+				ref = append(ref[:k], ref[k+1:]...)
+				refHit = true
+				break
+			}
+		}
+		ref = append([]trace.Addr{x}, ref...)
+		if len(ref) > 4 {
+			ref = ref[:4]
+		}
+		hit, _ := a.Access(x, false)
+		if hit != refHit {
+			t.Fatalf("access %d: cascade hit=%v, LRU reference=%v", i, hit, refHit)
+		}
+	}
+}
+
+func TestCascadePromotionToHead(t *testing.T) {
+	a := MustAggregate(Cascade, mkBanks(2, 1, 1), 0)
+	a.Access(addr(1), false) // head: 1
+	a.Access(addr(2), false) // head: 2, tail: 1
+	hit, bank := a.Access(addr(1), false)
+	if !hit || bank != 1 {
+		t.Fatalf("expected hit in tail bank, got hit=%v bank=%d", hit, bank)
+	}
+	// 1 must now be at the head; 2 demoted to the tail.
+	if !a.banks[0].Probe(addr(1)) || !a.banks[1].Probe(addr(2)) {
+		t.Fatal("promotion/demotion did not happen")
+	}
+}
+
+func TestMigrationRateOrdering(t *testing.T) {
+	// The Fig. 4 design argument: Cascade migrates far more than TwoLevel;
+	// AddressHash and Parallel never migrate.
+	run := func(scheme Scheme) AggregateStats {
+		agg := MustAggregate(scheme, mkBanks(4, 16, 4), 0)
+		g := trace.MustGenerator(trace.Spec{
+			Name:     "mix",
+			HitMass:  []float64{0.4, 0.2, 0.1, 0.05},
+			ColdFrac: 0.25,
+			MemPerKI: 100,
+		}, stats.NewRNG(3, 33), trace.GeneratorConfig{BlocksPerWay: 64})
+		for i := 0; i < 30000; i++ {
+			agg.Access(g.Next().Access.Addr, false)
+		}
+		return agg.Stats()
+	}
+	cas := run(Cascade)
+	two := run(TwoLevel)
+	hash := run(AddressHash)
+	par := run(Parallel)
+	if hash.Migrations != 0 || par.Migrations != 0 {
+		t.Fatalf("hash/parallel migrated: %d/%d", hash.Migrations, par.Migrations)
+	}
+	if cas.MigrationRate() <= two.MigrationRate() {
+		t.Fatalf("cascade rate %.3f <= two-level rate %.3f", cas.MigrationRate(), two.MigrationRate())
+	}
+	if two.Migrations == 0 {
+		t.Fatal("two-level should migrate on level-2 activity")
+	}
+	// All schemes see the same traffic; miss ratios should be in the same
+	// ballpark (cascade is the LRU ideal, so it must not be worse than
+	// hash by much; allow generous slack, this pins gross breakage only).
+	if cas.MissRatio() > hash.MissRatio()+0.05 {
+		t.Fatalf("cascade misses %.3f much worse than hash %.3f", cas.MissRatio(), hash.MissRatio())
+	}
+}
+
+func TestTwoLevelPromotion(t *testing.T) {
+	// 2 level-1 banks (1x1) + 1 level-2 bank (1x1).
+	a := MustAggregate(TwoLevel, mkBanks(3, 1, 1), 0)
+	a.Access(addr(1), false) // L1 bank 0
+	a.Access(addr(2), false) // L1 bank 1
+	a.Access(addr(3), false) // L1 bank 0, victim 1 -> L2
+	if !a.banks[2].Probe(addr(1)) {
+		t.Fatal("victim not demoted to level 2")
+	}
+	hit, bank := a.Access(addr(1), false)
+	if !hit || bank != 2 {
+		t.Fatalf("expected level-2 hit, got hit=%v bank=%d", hit, bank)
+	}
+	if a.banks[2].Probe(addr(1)) {
+		t.Fatal("promoted block still in level 2")
+	}
+}
+
+func TestAggregateStatsHelpers(t *testing.T) {
+	var s AggregateStats
+	if s.MissRatio() != 0 || s.MigrationRate() != 0 || s.LookupsPerAccess() != 0 {
+		t.Fatal("zero stats should yield zero rates")
+	}
+	s = AggregateStats{Accesses: 10, Misses: 5, Migrations: 20, Lookups: 30}
+	if s.MissRatio() != 0.5 || s.MigrationRate() != 2 || s.LookupsPerAccess() != 3 {
+		t.Fatalf("rates wrong: %+v", s)
+	}
+}
+
+func TestCascadeDirtyBlockStaysDirtyThroughMigration(t *testing.T) {
+	a := MustAggregate(Cascade, mkBanks(2, 1, 1), 0)
+	a.Access(addr(1), true)  // dirty at head
+	a.Access(addr(2), false) // demotes 1 to tail
+	a.Access(addr(1), false) // promote 1 back (still dirty), demote 2
+	a.Access(addr(3), false) // demote 1 to tail again
+	// Evict 1 entirely: insert 4 (head), demoting 3; 1 falls off the tail.
+	a.Access(addr(4), false)
+	wb := a.banks[1].Stats().Writebacks
+	if wb == 0 {
+		t.Fatal("dirty block lost its dirty bit across migrations")
+	}
+}

@@ -1,0 +1,77 @@
+package nuca
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bankaware/internal/stats"
+	"bankaware/internal/trace"
+)
+
+func TestAggregateSingleResidencyProperty(t *testing.T) {
+	// Property: under every aggregation scheme and arbitrary traffic, a
+	// block is resident in at most one bank of the aggregate (the schemes
+	// move lines but never duplicate them).
+	run := func(seed uint64, schemeRaw uint8) bool {
+		scheme := Scheme(schemeRaw % 4)
+		banks := mkBanks(3, 16, 4)
+		agg := MustAggregate(scheme, banks, 0)
+		rng := stats.NewRNG(seed, seed^0x1234)
+		var touched []trace.Addr
+		for i := 0; i < 4000; i++ {
+			a := addr(uint64(rng.IntN(300)))
+			agg.Access(a, rng.Bool(0.3))
+			if i%211 == 0 {
+				touched = append(touched, a)
+			}
+		}
+		for _, a := range touched {
+			n := 0
+			for _, b := range banks {
+				if b.Probe(a) {
+					n++
+				}
+			}
+			if n > 1 {
+				t.Fatalf("scheme %v: block %#x resident in %d banks", scheme, a, n)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateStatsConservation(t *testing.T) {
+	// hits + misses == accesses for every scheme under random traffic.
+	for _, scheme := range []Scheme{Cascade, AddressHash, Parallel, TwoLevel} {
+		agg := MustAggregate(scheme, mkBanks(4, 8, 4), 0)
+		rng := stats.NewRNG(9, uint64(scheme))
+		for i := 0; i < 5000; i++ {
+			agg.Access(addr(uint64(rng.IntN(400))), false)
+		}
+		s := agg.Stats()
+		if s.Hits+s.Misses != s.Accesses {
+			t.Fatalf("%v: %d hits + %d misses != %d accesses", scheme, s.Hits, s.Misses, s.Accesses)
+		}
+	}
+}
+
+func TestAggregateHitDeterminism(t *testing.T) {
+	// Identical traffic through identical aggregates yields identical
+	// statistics for every scheme.
+	for _, scheme := range []Scheme{Cascade, AddressHash, Parallel, TwoLevel} {
+		runOnce := func() AggregateStats {
+			agg := MustAggregate(scheme, mkBanks(3, 8, 4), 0)
+			rng := stats.NewRNG(21, 22)
+			for i := 0; i < 3000; i++ {
+				agg.Access(addr(uint64(rng.IntN(200))), rng.Bool(0.25))
+			}
+			return agg.Stats()
+		}
+		if runOnce() != runOnce() {
+			t.Fatalf("%v nondeterministic", scheme)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"bankaware/internal/core"
+	"bankaware/internal/nuca"
+	"bankaware/internal/trace"
+)
+
+// phasedMix builds the reallocation scenario used by the adaptive-epoch
+// tests: core 0 flips working sets, others are steady.
+func phasedMix(t *testing.T, cfg Config) []trace.Stream {
+	t.Helper()
+	small := trace.Spec{Name: "small", HitMass: []float64{1, 1}, ColdFrac: 0.02, MemPerKI: 100}
+	big := trace.Spec{Name: "big", HitMass: make([]float64, 48), ColdFrac: 0.05, MemPerKI: 100}
+	for i := range big.HitMass {
+		big.HitMass[i] = 1
+	}
+	pg, err := trace.NewPhasedGenerator([]trace.Phase{
+		{Spec: small, Accesses: 30_000},
+		{Spec: big, Accesses: 30_000},
+	}, statsRNG(7), trace.GeneratorConfig{BlocksPerWay: cfg.BankSets, Base: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]trace.Stream, nuca.NumCores)
+	streams[0] = pg
+	for c := 1; c < nuca.NumCores; c++ {
+		streams[c] = trace.MustGenerator(trace.MustSpec("crafty"), statsRNG(uint64(c+10)),
+			trace.GeneratorConfig{BlocksPerWay: cfg.BankSets, Base: trace.Addr(uint64(c+1) << 41)})
+	}
+	return streams
+}
+
+func TestAdaptiveEpochsReactFaster(t *testing.T) {
+	// With long fixed epochs, the phase flip sits unnoticed until the
+	// period expires; the adaptive detector must repartition more often on
+	// the same workload.
+	run := func(adaptive bool) int {
+		cfg := testConfig()
+		cfg.EpochCycles = 2_000_000 // long relative to the phase length
+		cfg.AdaptiveEpochs = adaptive
+		sys, err := NewWithStreams(cfg, core.NewBankAwarePolicy(), phasedMix(t, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(1_200_000); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Epochs()
+	}
+	fixed := run(false)
+	adaptive := run(true)
+	if adaptive <= fixed {
+		t.Fatalf("adaptive epochs (%d) not more frequent than fixed (%d) under phase changes", adaptive, fixed)
+	}
+}
+
+func TestAdaptiveEpochsQuietWorkloadNoExtraChurn(t *testing.T) {
+	// Steady workloads must not trigger spurious early repartitions: the
+	// epoch count should stay near the fixed-period schedule.
+	run := func(adaptive bool) int {
+		cfg := testConfig()
+		cfg.AdaptiveEpochs = adaptive
+		sys, err := New(cfg, core.NewBankAwarePolicy(), specsFor(
+			"crafty", "crafty", "crafty", "crafty", "crafty", "crafty", "crafty", "crafty"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Epochs()
+	}
+	fixed := run(false)
+	adaptive := run(true)
+	if adaptive > fixed+2 {
+		t.Fatalf("steady workload caused churn: adaptive %d vs fixed %d epochs", adaptive, fixed)
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	"bankaware/internal/cache"
+	"bankaware/internal/core"
+)
+
+func TestBandwidthAwarePolicyEndToEnd(t *testing.T) {
+	// The feedback loop must run: the policy's weights move away from the
+	// neutral 1.0 once DRAM queueing differentiates the cores, and the
+	// system stays valid throughout.
+	cfg := testConfig()
+	p := core.NewBandwidthAwarePolicy()
+	sys, err := New(cfg, p, specsFor(mixedSet...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(1_200_000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Epochs() < 2 {
+		t.Fatalf("only %d epochs", sys.Epochs())
+	}
+	moved := false
+	for _, w := range p.Weights() {
+		if w != 1 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("feedback never moved any weight off neutral")
+	}
+	if err := sys.Allocation().ValidateBankAware(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthAwareNotWorseThanBankAware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy simulation in -short mode")
+	}
+	// On a bandwidth-stressed mix the extension should be at least
+	// competitive with plain bank-aware in CPI.
+	mix := []string{"art", "mcf", "swim", "gzip", "mesa", "equake", "crafty", "applu"}
+	const instr = 1_500_000
+	bank := runPolicy(t, core.NewBankAwarePolicy(), mix, instr)
+	bw := runPolicy(t, core.NewBandwidthAwarePolicy(), mix, instr)
+	if bw.MeanCPI > bank.MeanCPI*1.06 {
+		t.Fatalf("bandwidth-aware CPI %.3f much worse than bank-aware %.3f", bw.MeanCPI, bank.MeanCPI)
+	}
+}
+
+func TestPLRUEndToEnd(t *testing.T) {
+	// The full system must run with TreePLRU banks and produce results in
+	// the same ballpark as true LRU.
+	cfg := testConfig()
+	cfg.L2Replacement = cache.TreePLRU
+	sysP, err := New(cfg, core.EqualPolicy{}, specsFor(mixedSet...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysP.Run(600_000); err != nil {
+		t.Fatal(err)
+	}
+	plru := sysP.Result(mixedSet)
+
+	lru := runPolicy(t, core.EqualPolicy{}, mixedSet, 600_000)
+	ratio := float64(plru.TotalL2Misses) / float64(lru.TotalL2Misses)
+	// PLRU approximates LRU; the warm-up protocols differ slightly between
+	// the two runs, so just pin the ballpark.
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("PLRU misses %.2fx LRU's — approximation broken", ratio)
+	}
+}
+
+func TestMultiChannelMemoryEndToEnd(t *testing.T) {
+	// More channels must not slow the machine down on a memory-heavy mix.
+	mix := []string{"art", "mcf", "swim", "applu", "mgrid", "lucas", "equake", "gzip"}
+	run := func(channels int) float64 {
+		cfg := testConfig()
+		cfg.MemChannels = channels
+		sys, err := New(cfg, core.EqualPolicy{}, specsFor(mix...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(800_000); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Result(mix).MeanCPI
+	}
+	one, four := run(1), run(4)
+	if four > one*1.02 {
+		t.Fatalf("4-channel CPI %.3f worse than 1-channel %.3f", four, one)
+	}
+}
+
+func TestConfigValidateExtensions(t *testing.T) {
+	cfg := testConfig()
+	cfg.MemChannels = 3
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("non-power-of-two channels accepted")
+	}
+	cfg = testConfig()
+	cfg.MemChannels = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative channels accepted")
+	}
+	cfg = testConfig()
+	cfg.L2Replacement = cache.ReplacementPolicy(9)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bogus replacement accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"bankaware/internal/core"
+)
+
+// TestGoldenShortRunSnapshot pins the exact outcome of a short fixed-seed
+// run, so any change to the simulator's event ordering, latency model or
+// workload generation fails loudly rather than silently shifting every
+// experiment. A deliberate model change updates this snapshot together
+// with EXPERIMENTS.md.
+func TestGoldenShortRunSnapshot(t *testing.T) {
+	sys, err := New(testConfig(), core.EqualPolicy{}, specsFor(mixedSet...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Result(mixedSet)
+	snap := struct {
+		accesses, misses uint64
+	}{r.TotalL2Accesses, r.TotalL2Misses}
+	if snap.accesses == 0 || snap.misses == 0 {
+		t.Fatalf("degenerate run: %+v", snap)
+	}
+	// Re-run must match bit-for-bit.
+	sys2, err := New(testConfig(), core.EqualPolicy{}, specsFor(mixedSet...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	r2 := sys2.Result(mixedSet)
+	if r2.TotalL2Accesses != snap.accesses || r2.TotalL2Misses != snap.misses {
+		t.Fatalf("rerun diverged: %d/%d vs %d/%d",
+			r2.TotalL2Accesses, r2.TotalL2Misses, snap.accesses, snap.misses)
+	}
+	for c := range r.Cores {
+		if r.Cores[c] != r2.Cores[c] {
+			t.Fatalf("core %d result diverged", c)
+		}
+	}
+}

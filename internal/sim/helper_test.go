@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"bankaware/internal/cache"
+	"bankaware/internal/core"
+	"bankaware/internal/stats"
+)
+
+// statsRNG returns a fresh deterministic RNG for test streams.
+func statsRNG(seed uint64) *stats.RNG {
+	return stats.NewRNG(seed, seed^0xdeadbeef)
+}
+
+// cacheConfig32Sets is the 1/16-scale L1 (4 KB: 32 sets x 2 ways).
+func cacheConfig32Sets() cache.Config {
+	return cache.Config{Sets: 32, Ways: 2}
+}
+
+// coreEqual returns the static even-split policy (helper to avoid repeating
+// the import-qualified literal in tests).
+func coreEqual() core.Policy { return core.EqualPolicy{} }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bankaware/internal/nuca"
+)
+
+func mkResult(missesPerCore uint64, cpi float64) Result {
+	var r Result
+	for c := 0; c < nuca.NumCores; c++ {
+		r.Cores[c] = CoreResult{
+			L2Accesses: 2 * missesPerCore,
+			L2Misses:   missesPerCore,
+			CPI:        cpi,
+		}
+		r.TotalL2Accesses += 2 * missesPerCore
+		r.TotalL2Misses += missesPerCore
+	}
+	r.MissRatio = 0.5
+	r.MeanCPI = cpi
+	return r
+}
+
+func TestRelativeTotals(t *testing.T) {
+	base := mkResult(100, 4)
+	half := mkResult(50, 2)
+	rm, rc := half.Relative(base)
+	if rm != 0.5 || rc != 0.5 {
+		t.Fatalf("Relative = %v,%v", rm, rc)
+	}
+	rm, rc = half.Relative(Result{})
+	if rm != 0 || rc != 0 {
+		t.Fatal("zero baseline should yield zero ratios")
+	}
+}
+
+func TestPerCoreRelativeGeometricMean(t *testing.T) {
+	base := mkResult(100, 4)
+	var mixed Result
+	for c := 0; c < nuca.NumCores; c++ {
+		m := uint64(100) // ratio 1
+		if c%2 == 0 {
+			m = 25 // ratio 0.25
+		}
+		mixed.Cores[c] = CoreResult{L2Accesses: 200, L2Misses: m, CPI: 4}
+	}
+	rm, rc := mixed.PerCoreRelative(base)
+	want := math.Sqrt(0.25) // GM of alternating {0.25, 1}
+	if math.Abs(rm-want) > 1e-9 {
+		t.Fatalf("per-core GM = %v, want %v", rm, want)
+	}
+	if math.Abs(rc-1) > 1e-9 {
+		t.Fatalf("per-core CPI GM = %v, want 1", rc)
+	}
+}
+
+func TestPerCoreRelativeSkipsZeroCores(t *testing.T) {
+	base := mkResult(100, 4)
+	probe := mkResult(100, 4)
+	// One core with zero misses on either side must not poison the GM.
+	probe.Cores[3].L2Misses = 0
+	rm, _ := probe.PerCoreRelative(base)
+	if math.Abs(rm-1) > 1e-9 {
+		t.Fatalf("GM with skipped core = %v", rm)
+	}
+	base.Cores[5].CPI = 0
+	_, rc := probe.PerCoreRelative(base)
+	if rc <= 0 {
+		t.Fatalf("CPI GM with skipped core = %v", rc)
+	}
+}
+
+func TestResultStringContainsWorkloads(t *testing.T) {
+	r := mkResult(10, 1)
+	for c := range r.Cores {
+		r.Cores[c].Workload = "wl"
+	}
+	s := r.String()
+	if !strings.Contains(s, "wl") || !strings.Contains(s, "total:") {
+		t.Fatalf("rendering missing pieces:\n%s", s)
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := runSystem(t, coreEqual(), mixedSet, 50_000, nil)
+	if sys.Policy().Name() != "Equal-partitions" {
+		t.Fatal("Policy accessor wrong")
+	}
+	if sys.NetworkStats().Transfers == 0 {
+		t.Fatal("network idle after a run")
+	}
+	if sys.DRAMStats().Requests == 0 {
+		t.Fatal("DRAM idle after a run")
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter. It exists so that the
+// simulator's metric fields document themselves and so helper methods
+// (Add, Ratio) live in one place.
+type Counter uint64
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { *c++ }
+
+// Value returns the count as a uint64.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// Hist is a fixed-width bucketed histogram of non-negative integer samples.
+// Bucket i counts samples equal to i; samples >= len(buckets) accumulate in
+// the overflow bucket. The MSA profiler uses a specialised variant; Hist is
+// for general instrumentation (queue depths, hop counts, burst lengths).
+type Hist struct {
+	buckets  []uint64
+	overflow uint64
+	count    uint64
+	sum      uint64
+}
+
+// NewHist returns a histogram with n exact buckets plus an overflow bucket.
+func NewHist(n int) *Hist {
+	if n < 1 {
+		n = 1
+	}
+	return &Hist{buckets: make([]uint64, n)}
+}
+
+// Observe records one sample of value v (v < 0 is clamped to 0).
+func (h *Hist) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v < len(h.buckets) {
+		h.buckets[v]++
+	} else {
+		h.overflow++
+	}
+	h.count++
+	h.sum += uint64(v)
+}
+
+// Count returns the total number of samples observed.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the mean sample value.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket returns the count of samples exactly equal to i, or the overflow
+// count when i is out of range on the high side.
+func (h *Hist) Bucket(i int) uint64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.buckets) {
+		return h.overflow
+	}
+	return h.buckets[i]
+}
+
+// Overflow returns the count of samples >= the number of exact buckets.
+func (h *Hist) Overflow() uint64 { return h.overflow }
+
+// String renders a compact textual histogram for logs and CLI output.
+func (h *Hist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist n=%d mean=%.2f [", h.count, h.Mean())
+	for i, v := range h.buckets {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	fmt.Fprintf(&b, " |ovf %d]", h.overflow)
+	return b.String()
+}
+
+// Reset zeroes all counts, keeping the bucket layout.
+func (h *Hist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.overflow, h.count, h.sum = 0, 0, 0
+}

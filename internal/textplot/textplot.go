@@ -1,0 +1,114 @@
+// Package textplot renders the repository's figures as plain-text charts so
+// the cmd/ tools can "draw" the paper's figures in a terminal: horizontal
+// bar charts for histograms (Fig. 2) and bar groups (Figs. 8, 9), and
+// multi-series line-ish charts for curves (Figs. 3, 7).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bars renders a labelled horizontal bar chart. Values are scaled so the
+// largest bar spans width characters.
+func Bars(labels []string, values []float64, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %g\n", labelW, label, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Series is one named curve for Chart.
+type Series struct {
+	Name   string
+	Points []float64 // y values at x = 0..len-1
+}
+
+// Chart renders multiple series as a height x width character grid with a
+// y-axis spanning [0, max]. Each series draws with its own glyph; collisions
+// show the later series.
+func Chart(series []Series, width, height int) string {
+	if width < 8 {
+		width = 64
+	}
+	if height < 4 {
+		height = 16
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '@', '%'}
+	maxY := 0.0
+	maxLen := 0
+	for _, s := range series {
+		for _, y := range s.Points {
+			if y > maxY {
+				maxY = y
+			}
+		}
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if maxY == 0 || maxLen < 2 {
+		return "(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for x := 0; x < width; x++ {
+			// Sample the series at this column.
+			idx := float64(x) / float64(width-1) * float64(len(s.Points)-1)
+			lo := int(idx)
+			hi := lo + 1
+			if hi >= len(s.Points) {
+				hi = len(s.Points) - 1
+			}
+			frac := idx - float64(lo)
+			y := s.Points[lo]*(1-frac) + s.Points[hi]*frac
+			row := height - 1 - int(math.Round(y/maxY*float64(height-1)))
+			if row >= 0 && row < height {
+				grid[row][x] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.3f ┤\n", maxY)
+	for _, row := range grid {
+		b.WriteString("         │")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("   0.000 └" + strings.Repeat("─", width) + "\n")
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	b.WriteString("          " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "##########") {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+}
+
+func TestBarsZero(t *testing.T) {
+	out := Bars([]string{"z"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatal("zero value drew a bar")
+	}
+}
+
+func TestBarsDefaultWidth(t *testing.T) {
+	if Bars([]string{"a"}, []float64{1}, 0) == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestChart(t *testing.T) {
+	s := []Series{
+		{Name: "up", Points: []float64{0, 1, 2, 3}},
+		{Name: "down", Points: []float64{3, 2, 1, 0}},
+	}
+	out := Chart(s, 20, 8)
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatalf("legend missing: %q", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series glyphs missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if out := Chart(nil, 10, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	if out := Chart([]Series{{Name: "flat", Points: []float64{0, 0}}}, 10, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("all-zero chart = %q", out)
+	}
+}
+
+func TestChartClampsDimensions(t *testing.T) {
+	s := []Series{{Name: "x", Points: []float64{1, 2}}}
+	if Chart(s, 1, 1) == "" {
+		t.Fatal("tiny dimensions broke the chart")
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The catalog mimics the 26 SPEC CPU2000 workloads the paper profiles
+// (Section IV: "the 26 components from SPEC CPU2000"). Each entry is a
+// parametric reuse spec whose miss-ratio curve reproduces the behaviour the
+// paper reports or implies:
+//
+//   - sixtrack: sharp knee — "a lot of misses with less than six cache ways
+//     ... after that point its misses are close to zero" (Fig. 3);
+//   - applu: knee near ten ways, then a flat residual — "miss rate remains
+//     flat after more than 10 ways" (Fig. 3);
+//   - bzip2: gradual improvement out to ~45 ways (Fig. 3);
+//   - the remaining workloads are calibrated from the way counts the
+//     bank-aware allocator gave them under contention in Table III
+//     (e.g. facerec 56, mcf 24, mgrid 40, eon 3, galgel 4).
+//
+// Knee (ways), curve shape (decay), streaming mass (cold fraction), memory
+// intensity (refs per kilo-instruction) and footprint are per workload.
+
+// kneeSpec builds a Spec whose total hot working set is `knee` ways, split
+// between two components that share that budget (they occupy disjoint
+// address regions in the generator, so their footprints add):
+//
+//   - a short-range stack-distance component over the first knee/4 ways
+//     (MRU-concentrated temporal reuse, weight 1-loopFrac of the reuse
+//     mass), and
+//   - a cyclic sweep over the remaining 3*knee/4 ways (array loops, weight
+//     loopFrac), whose all-or-nothing LRU cliff is what makes cache
+//     sharing collapse in the paper's no-partition baseline.
+//
+// cold is the absolute asymptotic miss ratio; the reuse mass sums to
+// 1-cold. The analytic MissCurve places the sweep cliff at LoopWays; the
+// measured cliff sits ~knee/4 ways deeper because the smooth component's
+// residency competes — a small, uniform optimism that preserves every
+// ordering the allocators depend on.
+func kneeSpec(name string, knee int, cold, loopFrac, mpki, writeFrac, footprintWays float64) Spec {
+	if knee < 1 {
+		knee = 1
+	}
+	if knee > MaxWays {
+		knee = MaxWays
+	}
+	sm := knee / 4
+	if sm < 1 {
+		sm = 1
+	}
+	loopWays := knee - sm
+	if loopWays < 1 {
+		loopWays = 1
+	}
+	tau := float64(sm)
+	mass := make([]float64, sm)
+	sum := 0.0
+	for b := 0; b < sm; b++ {
+		mass[b] = math.Exp(-float64(b) / tau)
+		sum += mass[b]
+	}
+	smooth := (1 - cold) * (1 - loopFrac)
+	for b := range mass {
+		mass[b] *= smooth / sum
+	}
+	return Spec{
+		Name:          name,
+		HitMass:       mass,
+		ColdFrac:      cold,
+		LoopMass:      (1 - cold) * loopFrac,
+		LoopWays:      float64(loopWays),
+		WriteFrac:     writeFrac,
+		MemPerKI:      mpki,
+		FootprintWays: footprintWays,
+	}
+}
+
+// streamSpec builds a pure streaming/pointer-chasing workload: a large cold
+// fraction plus a smooth stack-distance tail over `reach` ways, and no
+// cyclic loop. Its miss rate is nearly policy-invariant (partitioning can
+// neither save nor hurt it much), but its insertion stream is what thrashes
+// its neighbours' loops in a shared cache — the mcf/art/swim role in the
+// paper's mixes.
+func streamSpec(name string, reach int, cold, mpki, writeFrac, footprintWays float64) Spec {
+	if reach < 1 {
+		reach = 1
+	}
+	if reach > MaxWays {
+		reach = MaxWays
+	}
+	tau := float64(reach) / 2
+	mass := make([]float64, reach)
+	sum := 0.0
+	for b := 0; b < reach; b++ {
+		mass[b] = math.Exp(-float64(b) / tau)
+		sum += mass[b]
+	}
+	for b := range mass {
+		mass[b] *= (1 - cold) / sum
+	}
+	return Spec{
+		Name:          name,
+		HitMass:       mass,
+		ColdFrac:      cold,
+		WriteFrac:     writeFrac,
+		MemPerKI:      mpki,
+		FootprintWays: footprintWays,
+	}
+}
+
+// gradualSpec builds a workload whose miss ratio improves smoothly out to
+// `reach` ways with no cliff — the bzip2/twolf/facerec shape of Fig. 3
+// ("additional assigned ways improve miss ratio up to ... 45 ways").
+// Partitioning neither saves nor dooms it at 16 ways; what it rewards is an
+// allocator that can grant it a large share, which is exactly the
+// bank-aware-vs-equal difference the paper measures.
+func gradualSpec(name string, reach int, cold, mpki, writeFrac, footprintWays float64) Spec {
+	s := streamSpec(name, reach, cold, mpki, writeFrac, footprintWays)
+	return s
+}
+
+// Catalog returns the 26-entry SPEC CPU2000-like workload suite, ordered as
+// the usual integer-then-floating-point listing. The returned specs are
+// fresh copies; callers may mutate them.
+func Catalog() []Spec {
+	return []Spec{
+		// --- SPECint2000 (12) ---
+		kneeSpec("gzip", 12, 0.05, 0.6, 25, 0.25, 0),
+		kneeSpec("vpr", 14, 0.08, 0.6, 28, 0.30, 0),
+		kneeSpec("gcc", 6, 0.10, 0.5, 20, 0.30, 0),
+		streamSpec("mcf", 24, 0.50, 80, 0.20, 200),
+		kneeSpec("crafty", 14, 0.04, 0.5, 15, 0.25, 0),
+		kneeSpec("parser", 20, 0.10, 0.5, 35, 0.30, 0),
+		kneeSpec("eon", 4, 0.02, 0.5, 10, 0.35, 0),
+		kneeSpec("perlbmk", 12, 0.05, 0.5, 18, 0.30, 0),
+		kneeSpec("gap", 8, 0.06, 0.5, 18, 0.25, 0),
+		kneeSpec("vortex", 22, 0.06, 0.6, 35, 0.30, 0),
+		gradualSpec("bzip2", 45, 0.08, 50, 0.30, 0),
+		gradualSpec("twolf", 56, 0.05, 55, 0.25, 0),
+		// --- SPECfp2000 (14) ---
+		kneeSpec("wupwise", 10, 0.12, 0.6, 22, 0.25, 0),
+		streamSpec("swim", 8, 0.55, 70, 0.35, 300),
+		streamSpec("mgrid", 40, 0.35, 60, 0.30, 400),
+		streamSpec("applu", 10, 0.40, 50, 0.30, 350),
+		kneeSpec("mesa", 24, 0.05, 0.6, 30, 0.25, 0),
+		kneeSpec("galgel", 6, 0.05, 0.7, 25, 0.25, 0),
+		streamSpec("art", 16, 0.45, 80, 0.20, 96),
+		kneeSpec("equake", 20, 0.20, 0.6, 45, 0.25, 0),
+		gradualSpec("facerec", 56, 0.08, 50, 0.25, 0),
+		kneeSpec("ammp", 20, 0.08, 0.6, 40, 0.30, 0),
+		streamSpec("lucas", 12, 0.35, 35, 0.25, 0),
+		kneeSpec("fma3d", 10, 0.10, 0.6, 25, 0.30, 0),
+		kneeSpec("sixtrack", 6, 0.02, 0.8, 20, 0.25, 0),
+		kneeSpec("apsi", 24, 0.07, 0.6, 38, 0.30, 0),
+	}
+}
+
+// SpecByName looks a workload up in the catalog.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("trace: no catalog workload named %q", name)
+}
+
+// MustSpec is SpecByName that panics on unknown names; for example code and
+// tables whose names are fixed at compile time.
+func MustSpec(name string) Spec {
+	s, err := SpecByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CatalogNames returns the sorted workload names, for CLI listings.
+func CatalogNames() []string {
+	specs := Catalog()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,124 @@
+package trace
+
+import "bankaware/internal/stats"
+
+// lruStack is an indexable LRU stack of block addresses: position 0 is the
+// most recently used block. It supports the three operations the
+// stack-distance generator needs — push a new block on top, remove the block
+// at a given rank (to re-touch it), and query the size — each in O(log n).
+//
+// It is implemented as an implicit treap (randomised balanced tree ordered
+// by position, with subtree sizes for rank addressing). A plain slice with
+// move-to-front would cost O(depth) per access, which is prohibitive for the
+// deep reuse distances (tens of thousands of blocks) that workloads like
+// bzip2 exhibit.
+type lruStack struct {
+	root *treapNode
+	rng  *stats.RNG
+	free []*treapNode // recycled nodes, to keep allocation off the hot path
+}
+
+type treapNode struct {
+	left, right *treapNode
+	size        int
+	prio        uint64
+	addr        Addr
+}
+
+func newLRUStack(rng *stats.RNG) *lruStack {
+	return &lruStack{rng: rng}
+}
+
+func size(n *treapNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *treapNode) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// split divides t into (left: first k nodes, right: the rest).
+func split(t *treapNode, k int) (l, r *treapNode) {
+	if t == nil {
+		return nil, nil
+	}
+	if size(t.left) >= k {
+		l, t.left = split(t.left, k)
+		t.update()
+		return l, t
+	}
+	t.right, r = split(t.right, k-size(t.left)-1)
+	t.update()
+	return t, r
+}
+
+func merge(l, r *treapNode) *treapNode {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio > r.prio {
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	}
+	r.left = merge(l, r.left)
+	r.update()
+	return r
+}
+
+// Len returns the number of blocks on the stack.
+func (s *lruStack) Len() int { return size(s.root) }
+
+// PushFront makes addr the most recently used block.
+func (s *lruStack) PushFront(addr Addr) {
+	var n *treapNode
+	if len(s.free) > 0 {
+		n = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		*n = treapNode{}
+	} else {
+		n = &treapNode{}
+	}
+	n.addr = addr
+	n.prio = s.rng.Uint64()
+	n.size = 1
+	s.root = merge(n, s.root)
+}
+
+// RemoveAt removes and returns the block at rank (0 = MRU). It panics if
+// rank is out of range; callers clamp against Len.
+func (s *lruStack) RemoveAt(rank int) Addr {
+	if rank < 0 || rank >= s.Len() {
+		panic("trace: lruStack rank out of range")
+	}
+	l, rest := split(s.root, rank)
+	mid, r := split(rest, 1)
+	s.root = merge(l, r)
+	addr := mid.addr
+	mid.left, mid.right = nil, nil
+	s.free = append(s.free, mid)
+	return addr
+}
+
+// At returns the block at rank without removing it (used by tests).
+func (s *lruStack) At(rank int) Addr {
+	n := s.root
+	for {
+		ls := size(n.left)
+		switch {
+		case rank < ls:
+			n = n.left
+		case rank == ls:
+			return n.addr
+		default:
+			rank -= ls + 1
+			n = n.right
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bankaware/internal/stats"
+)
+
+// sliceStack is a trivially correct reference implementation used to verify
+// the treap-backed lruStack.
+type sliceStack struct{ s []Addr }
+
+func (r *sliceStack) PushFront(a Addr) { r.s = append([]Addr{a}, r.s...) }
+func (r *sliceStack) RemoveAt(i int) Addr {
+	a := r.s[i]
+	r.s = append(r.s[:i], r.s[i+1:]...)
+	return a
+}
+func (r *sliceStack) Len() int      { return len(r.s) }
+func (r *sliceStack) At(i int) Addr { return r.s[i] }
+
+func TestLRUStackAgainstReference(t *testing.T) {
+	rng := stats.NewRNG(1, 2)
+	st := newLRUStack(rng.Split(0))
+	ref := &sliceStack{}
+	op := stats.NewRNG(3, 4)
+	for i := 0; i < 20000; i++ {
+		if ref.Len() == 0 || op.Bool(0.4) {
+			a := Addr(op.Uint64())
+			st.PushFront(a)
+			ref.PushFront(a)
+		} else {
+			k := op.IntN(ref.Len())
+			got := st.RemoveAt(k)
+			want := ref.RemoveAt(k)
+			if got != want {
+				t.Fatalf("op %d: RemoveAt(%d) = %#x, want %#x", i, k, got, want)
+			}
+		}
+		if st.Len() != ref.Len() {
+			t.Fatalf("op %d: Len = %d, want %d", i, st.Len(), ref.Len())
+		}
+	}
+	// Spot-check positional reads at the end.
+	for k := 0; k < ref.Len(); k += 7 {
+		if st.At(k) != ref.At(k) {
+			t.Fatalf("At(%d) = %#x, want %#x", k, st.At(k), ref.At(k))
+		}
+	}
+}
+
+func TestLRUStackPushOrder(t *testing.T) {
+	st := newLRUStack(stats.NewRNG(9, 9))
+	for i := 0; i < 100; i++ {
+		st.PushFront(Addr(i))
+	}
+	if st.Len() != 100 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := st.At(i); got != Addr(99-i) {
+			t.Fatalf("At(%d) = %d, want %d", i, got, 99-i)
+		}
+	}
+}
+
+func TestLRUStackMoveToFront(t *testing.T) {
+	st := newLRUStack(stats.NewRNG(5, 6))
+	for i := 0; i < 10; i++ {
+		st.PushFront(Addr(i))
+	}
+	// Stack is 9..0. Re-touch rank 4 (addr 5): it must move to the front.
+	a := st.RemoveAt(4)
+	st.PushFront(a)
+	if st.At(0) != 5 {
+		t.Fatalf("front = %d, want 5", st.At(0))
+	}
+	if st.Len() != 10 {
+		t.Fatalf("Len changed: %d", st.Len())
+	}
+}
+
+func TestLRUStackRemoveAtPanicsOutOfRange(t *testing.T) {
+	st := newLRUStack(stats.NewRNG(1, 1))
+	st.PushFront(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range rank")
+		}
+	}()
+	st.RemoveAt(1)
+}
+
+func TestLRUStackNodeRecycling(t *testing.T) {
+	// Heavy churn through a small stack must not grow memory: the free list
+	// should bound live nodes near the high-water mark.
+	st := newLRUStack(stats.NewRNG(2, 3))
+	for i := 0; i < 8; i++ {
+		st.PushFront(Addr(i))
+	}
+	for i := 0; i < 100000; i++ {
+		a := st.RemoveAt(i % 8)
+		st.PushFront(a)
+	}
+	if st.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", st.Len())
+	}
+	if len(st.free) > 8 {
+		t.Fatalf("free list grew to %d", len(st.free))
+	}
+}
+
+func TestLRUStackSizesConsistent(t *testing.T) {
+	// Property: after arbitrary mixed operations, every subtree size equals
+	// 1 + size(left) + size(right).
+	check := func(ops []uint16) bool {
+		st := newLRUStack(stats.NewRNG(7, 8))
+		for _, o := range ops {
+			if st.Len() == 0 || o%3 != 0 {
+				st.PushFront(Addr(o))
+			} else {
+				st.RemoveAt(int(o) % st.Len())
+			}
+		}
+		var walk func(n *treapNode) bool
+		walk = func(n *treapNode) bool {
+			if n == nil {
+				return true
+			}
+			if n.size != 1+size(n.left)+size(n.right) {
+				return false
+			}
+			return walk(n.left) && walk(n.right)
+		}
+		return walk(st.root)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUStackHeapProperty(t *testing.T) {
+	st := newLRUStack(stats.NewRNG(11, 12))
+	for i := 0; i < 5000; i++ {
+		st.PushFront(Addr(i))
+		if i%3 == 0 && st.Len() > 1 {
+			st.RemoveAt(st.Len() / 2)
+		}
+	}
+	var walk func(n *treapNode) bool
+	walk = func(n *treapNode) bool {
+		if n == nil {
+			return true
+		}
+		if n.left != nil && n.left.prio > n.prio {
+			return false
+		}
+		if n.right != nil && n.right.prio > n.prio {
+			return false
+		}
+		return walk(n.left) && walk(n.right)
+	}
+	if !walk(st.root) {
+		t.Fatal("treap heap property violated")
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import "bankaware/internal/stats"
+
+// Stream is the access-stream interface consumed by the simulator: any
+// source of memory events. Generator and PhasedGenerator implement it.
+type Stream interface {
+	Next() Event
+}
+
+// Phase is one segment of a phased workload: behave as Spec for Accesses
+// memory references.
+type Phase struct {
+	Spec     Spec
+	Accesses uint64
+}
+
+// PhasedGenerator cycles through a sequence of phases, modelling programs
+// whose working set changes over time. Each phase runs on a fresh working
+// set (a new address region), which is the behaviour that makes dynamic
+// repartitioning matter: the profile that was true last epoch stops being
+// true.
+type PhasedGenerator struct {
+	phases  []Phase
+	cfg     GeneratorConfig
+	rng     *stats.RNG
+	cur     int
+	gen     *Generator
+	emitted uint64
+	region  Addr
+	// regionStride spaces the phases' address regions apart; sized so
+	// regions never collide for any realistic run length.
+	regionStride Addr
+}
+
+// NewPhasedGenerator builds a cycling phased stream. It validates every
+// phase spec up front.
+func NewPhasedGenerator(phases []Phase, rng *stats.RNG, cfg GeneratorConfig) (*PhasedGenerator, error) {
+	if len(phases) == 0 {
+		return nil, errNoPhases
+	}
+	for i := range phases {
+		if err := phases[i].Spec.Validate(); err != nil {
+			return nil, err
+		}
+		if phases[i].Accesses == 0 {
+			return nil, errEmptyPhase
+		}
+	}
+	p := &PhasedGenerator{
+		phases:       phases,
+		cfg:          cfg,
+		rng:          rng,
+		regionStride: 1 << 34, // 16 GiB per phase region
+	}
+	p.startPhase(0)
+	return p, nil
+}
+
+type traceError string
+
+func (e traceError) Error() string { return string(e) }
+
+const (
+	errNoPhases   = traceError("trace: phased generator needs at least one phase")
+	errEmptyPhase = traceError("trace: phase with zero accesses")
+)
+
+func (p *PhasedGenerator) startPhase(i int) {
+	p.cur = i
+	p.emitted = 0
+	cfg := p.cfg
+	cfg.Base = p.cfg.Base + p.region
+	p.region += p.regionStride
+	// Phase streams draw from split sub-generators so that inserting or
+	// reordering phases does not perturb unrelated phases' randomness.
+	p.gen = MustGenerator(p.phases[i].Spec, p.rng.Split(uint64(i)+1), cfg)
+}
+
+// Current returns the active phase index.
+func (p *PhasedGenerator) Current() int { return p.cur }
+
+// Next produces the next event, advancing phases as their budgets expire.
+func (p *PhasedGenerator) Next() Event {
+	if p.emitted >= p.phases[p.cur].Accesses {
+		p.startPhase((p.cur + 1) % len(p.phases))
+	}
+	p.emitted++
+	return p.gen.Next()
+}

@@ -1,0 +1,191 @@
+// Package trace is the workload substrate of the reproduction. The paper
+// evaluated on SPEC CPU2000 binaries running under Simics/GEMS; those are
+// not available here, so this package provides the closest synthetic
+// equivalent: stack-distance-driven memory access generators whose Mattson
+// (MSA) reuse profiles are specified directly.
+//
+// Every partitioning policy in the paper consumes a workload exclusively
+// through (a) its MSA stack-distance histogram, which determines the
+// miss-ratio curve and hence marginal utility, and (b) its memory intensity,
+// which determines how much CPI reacts to misses. A generator that realises
+// a target stack-distance distribution therefore reproduces exactly the
+// signal the algorithms act on. The 26-entry Catalog mimics the SPEC CPU2000
+// suite, with knees calibrated from the paper's Fig. 3 and Table III.
+//
+// Units: reuse depths are expressed in "way-equivalents" of the baseline
+// 16 MB, 128-way-equivalent L2 — one way-equivalent is BlocksPerWay cache
+// blocks (2048 with the paper's geometry: 16 MB / 128 ways / 64 B). A
+// workload whose hit mass lies entirely within w way buckets fits in w
+// dedicated ways of the shared L2.
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Addr is a byte address. Cache blocks are 64 bytes throughout the paper's
+// configuration; generators emit block-aligned addresses.
+type Addr uint64
+
+// BlockBits is log2 of the cache block size (64 B).
+const BlockBits = 6
+
+// DefaultBlocksPerWay is the number of blocks in one way-equivalent of the
+// baseline L2 (16 MB / 128 ways / 64 B = 2048 blocks, i.e. the set count of
+// the 128-way-equivalent view).
+const DefaultBlocksPerWay = 2048
+
+// MaxWays is the associativity of the 128-way-equivalent baseline L2
+// (16 banks x 8 ways). Reuse specs are defined over this many way buckets.
+const MaxWays = 128
+
+// Access is one memory reference emitted by a generator.
+type Access struct {
+	Addr  Addr
+	Write bool
+}
+
+// Spec declares the statistical behaviour of a synthetic workload.
+//
+// HitMass[w] (w = 0..len-1) is the relative probability that an access
+// re-touches a block at LRU stack depth inside way bucket w+1, i.e. at a
+// global reuse distance in ((w)*BlocksPerWay, (w+1)*BlocksPerWay]. ColdFrac
+// is the probability of touching a never-seen block (compulsory/streaming
+// traffic). HitMass plus ColdFrac are normalised at generator construction;
+// specs may be written with convenient relative weights.
+type Spec struct {
+	Name string
+
+	// HitMass holds relative reuse weight per way bucket (bucket w covers
+	// way w+1). Length at most MaxWays; shorter slices imply zero mass
+	// beyond their length.
+	HitMass []float64
+
+	// ColdFrac is the relative weight of accesses to brand-new blocks.
+	ColdFrac float64
+
+	// LoopMass is the relative weight of accesses that sweep a fixed
+	// working set cyclically (array loops — the dominant access pattern of
+	// the SPEC fp codes). A cyclic sweep has stack distance exactly equal
+	// to the working-set size, so it hits only when the allocation covers
+	// the whole set: the LRU "cliff". This is what makes cache sharing
+	// catastrophic in the paper's no-partition baseline — a core pushed
+	// even slightly past its cliff loses every sweep hit, and its misses
+	// then pollute everyone else (thrash feedback).
+	LoopMass float64
+
+	// LoopWays is the cyclic working-set size in way-equivalents; required
+	// positive when LoopMass > 0.
+	LoopWays float64
+
+	// WriteFrac is the fraction of accesses that are stores.
+	WriteFrac float64
+
+	// MemPerKI is the number of memory references per 1000 instructions.
+	// It sets the gap (in non-memory instructions) between accesses and so
+	// controls how strongly misses translate into CPI.
+	MemPerKI float64
+
+	// FootprintWays bounds the workload's distinct-block footprint, in
+	// way-equivalents. Once the footprint is reached, "cold" accesses wrap
+	// around to the oldest block instead of allocating a new one, modelling
+	// circular streaming (swim/mgrid-like). Zero means unbounded.
+	FootprintWays float64
+}
+
+// Validate reports structural problems with the spec.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("trace: spec has empty name")
+	}
+	if len(s.HitMass) > MaxWays {
+		return fmt.Errorf("trace: spec %q has %d hit-mass buckets, max %d", s.Name, len(s.HitMass), MaxWays)
+	}
+	total := s.ColdFrac + s.LoopMass
+	for i, m := range s.HitMass {
+		if m < 0 {
+			return fmt.Errorf("trace: spec %q has negative hit mass at bucket %d", s.Name, i)
+		}
+		total += m
+	}
+	if s.ColdFrac < 0 {
+		return fmt.Errorf("trace: spec %q has negative cold fraction", s.Name)
+	}
+	if s.LoopMass < 0 {
+		return fmt.Errorf("trace: spec %q has negative loop mass", s.Name)
+	}
+	if s.LoopMass > 0 && (s.LoopWays <= 0 || s.LoopWays > MaxWays) {
+		return fmt.Errorf("trace: spec %q loop working set %v ways outside (0,%d]", s.Name, s.LoopWays, MaxWays)
+	}
+	if total <= 0 {
+		return fmt.Errorf("trace: spec %q has no probability mass", s.Name)
+	}
+	if s.WriteFrac < 0 || s.WriteFrac > 1 {
+		return fmt.Errorf("trace: spec %q has write fraction %v outside [0,1]", s.Name, s.WriteFrac)
+	}
+	if s.MemPerKI < 0 || s.MemPerKI > 1000 {
+		return fmt.Errorf("trace: spec %q has memory intensity %v outside [0,1000]", s.Name, s.MemPerKI)
+	}
+	if s.FootprintWays < 0 {
+		return fmt.Errorf("trace: spec %q has negative footprint", s.Name)
+	}
+	return nil
+}
+
+// normalized returns (hit mass per bucket, cold fraction, loop fraction)
+// scaled to sum to 1.
+func (s Spec) normalized() ([]float64, float64, float64) {
+	total := s.ColdFrac + s.LoopMass
+	for _, m := range s.HitMass {
+		total += m
+	}
+	if total == 0 {
+		return make([]float64, len(s.HitMass)), 1, 0
+	}
+	hm := make([]float64, len(s.HitMass))
+	for i, m := range s.HitMass {
+		hm[i] = m / total
+	}
+	return hm, s.ColdFrac / total, s.LoopMass / total
+}
+
+// MissCurve returns the analytic miss-ratio curve of the raw access stream:
+// element w is the fraction of accesses that miss in a cache of w dedicated
+// way-equivalents (w = 0..maxWays). It follows directly from the MSA
+// inclusion property: an access at reuse depth d hits iff the cache holds at
+// least d blocks, so the miss ratio at w ways is the cold mass plus all hit
+// mass beyond bucket w.
+func (s Spec) MissCurve(maxWays int) []float64 {
+	hm, cold, loop := s.normalized()
+	curve := make([]float64, maxWays+1)
+	// Walk buckets from the back: curve[w] = cold + sum of hm[w:], so that
+	// curve[0] = cold + all mass = 1 after normalisation. The cyclic sweep
+	// contributes a step (the LRU cliff): it misses entirely below
+	// ceil(LoopWays) dedicated ways and hits entirely at or above.
+	cliff := int(math.Ceil(s.LoopWays))
+	acc := cold
+	for w := maxWays; w >= 0; w-- {
+		if w < len(hm) {
+			acc += hm[w]
+		}
+		curve[w] = acc
+		if loop > 0 && w < cliff {
+			curve[w] += loop
+		}
+	}
+	return curve
+}
+
+// GapMeanInstructions returns the mean number of non-memory instructions
+// between consecutive memory references implied by MemPerKI.
+func (s Spec) GapMeanInstructions() float64 {
+	if s.MemPerKI <= 0 {
+		return 999 // effectively compute-bound
+	}
+	g := 1000/s.MemPerKI - 1
+	if g < 0 {
+		return 0
+	}
+	return g
+}

@@ -1,0 +1,445 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bankaware/internal/stats"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "w", HitMass: []float64{1, 2}, ColdFrac: 0.1, MemPerKI: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []Spec{
+		{},                                     // empty name
+		{Name: "w"},                            // no mass at all
+		{Name: "w", HitMass: []float64{-1, 2}}, // negative mass
+		{Name: "w", HitMass: make([]float64, MaxWays+1)}, // too many buckets
+		{Name: "w", HitMass: []float64{1}, ColdFrac: -0.1},
+		{Name: "w", HitMass: []float64{1}, WriteFrac: 1.5},
+		{Name: "w", HitMass: []float64{1}, MemPerKI: 2000},
+		{Name: "w", HitMass: []float64{1}, FootprintWays: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestMissCurveShape(t *testing.T) {
+	s := Spec{Name: "w", HitMass: []float64{0.3, 0.2, 0.1}, ColdFrac: 0.4}
+	curve := s.MissCurve(8)
+	if len(curve) != 9 {
+		t.Fatalf("curve length = %d, want 9", len(curve))
+	}
+	if math.Abs(curve[0]-1) > 1e-12 {
+		t.Fatalf("curve[0] = %v, want 1", curve[0])
+	}
+	// Monotonically non-increasing.
+	for w := 1; w < len(curve); w++ {
+		if curve[w] > curve[w-1]+1e-12 {
+			t.Fatalf("curve not monotone at %d: %v > %v", w, curve[w], curve[w-1])
+		}
+	}
+	// Beyond the last bucket the miss ratio is exactly the cold fraction.
+	for w := 3; w <= 8; w++ {
+		if math.Abs(curve[w]-0.4) > 1e-12 {
+			t.Fatalf("curve[%d] = %v, want 0.4", w, curve[w])
+		}
+	}
+	// Exact values: curve[1] = cold + mass beyond way 1 = 0.4+0.3 = 0.7.
+	if math.Abs(curve[1]-0.7) > 1e-12 || math.Abs(curve[2]-0.5) > 1e-12 {
+		t.Fatalf("curve = %v", curve[:4])
+	}
+}
+
+func TestMissCurveNormalisesRelativeWeights(t *testing.T) {
+	a := Spec{Name: "a", HitMass: []float64{3, 2, 1}, ColdFrac: 4}
+	b := Spec{Name: "b", HitMass: []float64{0.3, 0.2, 0.1}, ColdFrac: 0.4}
+	ca, cb := a.MissCurve(5), b.MissCurve(5)
+	for w := range ca {
+		if math.Abs(ca[w]-cb[w]) > 1e-12 {
+			t.Fatalf("scaled specs disagree at %d: %v vs %v", w, ca[w], cb[w])
+		}
+	}
+}
+
+func TestGapMeanInstructions(t *testing.T) {
+	s := Spec{MemPerKI: 100}
+	if got := s.GapMeanInstructions(); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("gap mean = %v, want 9", got)
+	}
+	s.MemPerKI = 0
+	if s.GapMeanInstructions() <= 0 {
+		t.Fatal("zero intensity should still give a positive gap")
+	}
+	s.MemPerKI = 1000
+	if s.GapMeanInstructions() != 0 {
+		t.Fatal("all-memory workload should have zero gap")
+	}
+}
+
+// profileRaw measures the stack-distance histogram of a generator's raw
+// stream with an exact full-LRU reference profiler, in way buckets.
+func profileRaw(g *Generator, accesses int, bpw, maxWays int) (hist []float64, cold float64) {
+	ref := &sliceStack{}
+	pos := make(map[Addr]bool)
+	hist = make([]float64, maxWays)
+	var colds, total float64
+	for i := 0; i < accesses; i++ {
+		ev := g.Next()
+		a := ev.Access.Addr
+		total++
+		if !pos[a] {
+			pos[a] = true
+			ref.PushFront(a)
+			colds++
+			continue
+		}
+		// find rank
+		rank := -1
+		for k := 0; k < ref.Len(); k++ {
+			if ref.At(k) == a {
+				rank = k
+				break
+			}
+		}
+		if rank < 0 {
+			panic("seen block missing from reference stack")
+		}
+		ref.RemoveAt(rank)
+		ref.PushFront(a)
+		b := rank / bpw
+		if b < maxWays {
+			hist[b]++
+		}
+	}
+	for i := range hist {
+		hist[i] /= total
+	}
+	return hist, colds / total
+}
+
+func TestGeneratorRealisesSpecDistribution(t *testing.T) {
+	// The measured stack-distance histogram of the generated stream must
+	// converge to the spec's hit mass. Use a small BlocksPerWay so the
+	// exact reference profiler stays fast.
+	const bpw = 64
+	spec := Spec{
+		Name:     "synthetic",
+		HitMass:  []float64{0.35, 0.25, 0.15, 0.05},
+		ColdFrac: 0.20,
+		MemPerKI: 100,
+	}
+	g := MustGenerator(spec, stats.NewRNG(10, 20), GeneratorConfig{BlocksPerWay: bpw})
+	hist, cold := profileRaw(g, 60000, bpw, 6)
+	want := []float64{0.35, 0.25, 0.15, 0.05, 0, 0}
+	for b, w := range want {
+		if math.Abs(hist[b]-w) > 0.02 {
+			t.Errorf("bucket %d: measured %.4f, spec %.4f", b, hist[b], w)
+		}
+	}
+	// Warm-up converts some early reuse draws to cold, so allow upside.
+	if cold < 0.19 || cold > 0.26 {
+		t.Errorf("cold fraction measured %.4f, spec 0.20", cold)
+	}
+}
+
+func TestGeneratorMissCurveMatchesAnalytic(t *testing.T) {
+	// Simulate an ideal fully-associative LRU cache of w way-equivalents on
+	// the generated stream and compare its miss ratio to Spec.MissCurve.
+	const bpw = 64
+	spec := Spec{
+		Name:     "synthetic2",
+		HitMass:  []float64{0.3, 0.2, 0.2, 0.1},
+		ColdFrac: 0.2,
+		MemPerKI: 50,
+	}
+	analytic := spec.MissCurve(6)
+	for _, ways := range []int{1, 2, 3, 4, 6} {
+		g := MustGenerator(spec, stats.NewRNG(42, 99), GeneratorConfig{BlocksPerWay: bpw})
+		cap := ways * bpw
+		lru := &sliceStack{}
+		resident := make(map[Addr]int) // addr -> 1 (set membership)
+		misses, total := 0, 0
+		for i := 0; i < 40000; i++ {
+			a := g.Next().Access.Addr
+			total++
+			hit := false
+			if resident[a] == 1 {
+				for k := 0; k < lru.Len(); k++ {
+					if lru.At(k) == a {
+						lru.RemoveAt(k)
+						hit = true
+						break
+					}
+				}
+			}
+			if !hit {
+				misses++
+				if lru.Len() >= cap {
+					ev := lru.RemoveAt(lru.Len() - 1)
+					delete(resident, ev)
+				}
+				resident[a] = 1
+			}
+			lru.PushFront(a)
+		}
+		got := float64(misses) / float64(total)
+		if math.Abs(got-analytic[ways]) > 0.03 {
+			t.Errorf("ways=%d: simulated miss ratio %.4f, analytic %.4f", ways, got, analytic[ways])
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	spec := MustSpec("gzip")
+	g1 := MustGenerator(spec, stats.NewRNG(7, 7), GeneratorConfig{})
+	g2 := MustGenerator(spec, stats.NewRNG(7, 7), GeneratorConfig{})
+	for i := 0; i < 5000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("streams diverged at access %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorBlockAlignment(t *testing.T) {
+	g := MustGenerator(MustSpec("gcc"), stats.NewRNG(3, 3), GeneratorConfig{})
+	for i := 0; i < 2000; i++ {
+		a := g.Next().Access.Addr
+		if a&((1<<BlockBits)-1) != 0 {
+			t.Fatalf("unaligned address %#x", a)
+		}
+	}
+}
+
+func TestGeneratorFootprintBound(t *testing.T) {
+	spec := Spec{
+		Name:          "stream",
+		HitMass:       []float64{0.01},
+		ColdFrac:      0.99,
+		MemPerKI:      100,
+		FootprintWays: 2,
+	}
+	const bpw = 32
+	g := MustGenerator(spec, stats.NewRNG(5, 5), GeneratorConfig{BlocksPerWay: bpw})
+	seen := map[Addr]bool{}
+	for i := 0; i < 20000; i++ {
+		seen[g.Next().Access.Addr] = true
+	}
+	if len(seen) > 2*bpw {
+		t.Fatalf("footprint bound violated: %d distinct blocks, cap %d", len(seen), 2*bpw)
+	}
+	if len(seen) < 2*bpw-4 {
+		t.Fatalf("footprint underused: %d distinct blocks of %d", len(seen), 2*bpw)
+	}
+}
+
+func TestGeneratorWriteFraction(t *testing.T) {
+	spec := Spec{Name: "w", HitMass: []float64{1}, WriteFrac: 0.3, MemPerKI: 100}
+	g := MustGenerator(spec, stats.NewRNG(8, 8), GeneratorConfig{})
+	writes := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Access.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("write fraction %.4f, want ~0.3", frac)
+	}
+}
+
+func TestGeneratorGapMatchesIntensity(t *testing.T) {
+	spec := Spec{Name: "w", HitMass: []float64{1}, MemPerKI: 100} // mean gap 9
+	g := MustGenerator(spec, stats.NewRNG(2, 9), GeneratorConfig{})
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += g.Next().Gap
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-9) > 0.4 {
+		t.Fatalf("gap mean %.3f, want ~9", mean)
+	}
+}
+
+func TestGeneratorRejectsInvalidSpec(t *testing.T) {
+	_, err := NewGenerator(Spec{}, stats.NewRNG(1, 1), GeneratorConfig{})
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestMustGeneratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerator should panic on invalid spec")
+		}
+	}()
+	MustGenerator(Spec{}, stats.NewRNG(1, 1), GeneratorConfig{})
+}
+
+func TestCatalogComplete(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 26 {
+		t.Fatalf("catalog has %d workloads, want 26 (SPEC CPU2000)", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("catalog spec %q invalid: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate catalog name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, name := range []string{"sixtrack", "applu", "bzip2", "mcf", "facerec", "eon"} {
+		if !seen[name] {
+			t.Errorf("catalog missing %q", name)
+		}
+	}
+}
+
+func TestCatalogFig3Shapes(t *testing.T) {
+	// The three Fig. 3 exemplars must reproduce the paper's qualitative
+	// description of their miss-ratio curves.
+	six := MustSpec("sixtrack").MissCurve(MaxWays)
+	if six[6] > 0.06 {
+		t.Errorf("sixtrack misses at 6 ways = %.3f; paper: close to zero", six[6])
+	}
+	if six[3] < 0.2 {
+		t.Errorf("sixtrack misses at 3 ways = %.3f; paper: a lot of misses below 6 ways", six[3])
+	}
+	ap := MustSpec("applu").MissCurve(MaxWays)
+	if ap[10]-ap[128] > 0.01 {
+		t.Errorf("applu curve not flat beyond 10 ways: %.3f vs %.3f", ap[10], ap[128])
+	}
+	if ap[128] < 0.2 {
+		t.Errorf("applu residual miss ratio %.3f; paper: flat but non-trivial", ap[128])
+	}
+	bz := MustSpec("bzip2").MissCurve(MaxWays)
+	if !(bz[10] > bz[25] && bz[25] > bz[44]) {
+		t.Errorf("bzip2 curve should keep improving to ~45 ways: %.3f %.3f %.3f", bz[10], bz[25], bz[44])
+	}
+	if bz[45]-bz[128] > 0.01 {
+		t.Errorf("bzip2 should flatten after 45 ways")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, err := SpecByName("nonesuch"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	s, err := SpecByName("mcf")
+	if err != nil || s.Name != "mcf" {
+		t.Fatalf("SpecByName(mcf) = %v, %v", s.Name, err)
+	}
+}
+
+func TestMustSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSpec should panic on unknown name")
+		}
+	}()
+	MustSpec("nonesuch")
+}
+
+func TestCatalogNamesSorted(t *testing.T) {
+	names := CatalogNames()
+	if len(names) != 26 {
+		t.Fatalf("%d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted at %d: %s >= %s", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestPhasedGeneratorSwitchesPhases(t *testing.T) {
+	p1 := Spec{Name: "p1", HitMass: []float64{1}, MemPerKI: 100}
+	p2 := Spec{Name: "p2", HitMass: []float64{1}, ColdFrac: 0.5, MemPerKI: 100}
+	pg, err := NewPhasedGenerator([]Phase{{p1, 100}, {p2, 50}}, stats.NewRNG(1, 2), GeneratorConfig{BlocksPerWay: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Current() != 0 {
+		t.Fatal("should start in phase 0")
+	}
+	for i := 0; i < 100; i++ {
+		pg.Next()
+	}
+	pg.Next()
+	if pg.Current() != 1 {
+		t.Fatalf("after 101 accesses current = %d, want 1", pg.Current())
+	}
+	for i := 0; i < 50; i++ {
+		pg.Next()
+	}
+	if pg.Current() != 0 {
+		t.Fatalf("phases should cycle; current = %d", pg.Current())
+	}
+}
+
+func TestPhasedGeneratorFreshRegions(t *testing.T) {
+	p1 := Spec{Name: "p1", HitMass: []float64{1}, ColdFrac: 1, MemPerKI: 100}
+	pg, err := NewPhasedGenerator([]Phase{{p1, 10}, {p1, 10}}, stats.NewRNG(4, 4), GeneratorConfig{BlocksPerWay: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second []Addr
+	for i := 0; i < 10; i++ {
+		first = append(first, pg.Next().Access.Addr)
+	}
+	for i := 0; i < 10; i++ {
+		second = append(second, pg.Next().Access.Addr)
+	}
+	set := map[Addr]bool{}
+	for _, a := range first {
+		set[a] = true
+	}
+	for _, a := range second {
+		if set[a] {
+			t.Fatalf("phase regions overlap at %#x", a)
+		}
+	}
+}
+
+func TestPhasedGeneratorValidation(t *testing.T) {
+	if _, err := NewPhasedGenerator(nil, stats.NewRNG(1, 1), GeneratorConfig{}); err == nil {
+		t.Fatal("empty phase list accepted")
+	}
+	ok := Spec{Name: "p", HitMass: []float64{1}}
+	if _, err := NewPhasedGenerator([]Phase{{ok, 0}}, stats.NewRNG(1, 1), GeneratorConfig{}); err == nil {
+		t.Fatal("zero-length phase accepted")
+	}
+	if _, err := NewPhasedGenerator([]Phase{{Spec{}, 5}}, stats.NewRNG(1, 1), GeneratorConfig{}); err == nil {
+		t.Fatal("invalid phase spec accepted")
+	}
+}
+
+func TestGeneratorString(t *testing.T) {
+	g := MustGenerator(MustSpec("art"), stats.NewRNG(1, 1), GeneratorConfig{})
+	if !strings.Contains(g.String(), "art") {
+		t.Fatalf("String() = %q", g.String())
+	}
+}
+
+func TestGeneratorAccessesCounter(t *testing.T) {
+	g := MustGenerator(MustSpec("gap"), stats.NewRNG(1, 1), GeneratorConfig{})
+	for i := 0; i < 123; i++ {
+		g.Next()
+	}
+	if g.Accesses() != 123 {
+		t.Fatalf("Accesses = %d, want 123", g.Accesses())
+	}
+}
