@@ -18,6 +18,9 @@
 //     DRAM).
 //   - Evaluation: MonteCarlo (Fig. 7) and the experiments package's
 //     Table III set runners (Figs. 8 and 9).
+//   - Execution: Runner and the RunMonteCarloContext /
+//     RunExperimentsContext entry points (runner.go) — the parallel,
+//     context-aware engine every campaign fans out through.
 //
 // See examples/ for runnable scenarios and DESIGN.md / EXPERIMENTS.md for
 // the experiment index and measured results.
@@ -162,11 +165,18 @@ var (
 
 // MonteCarlo entry points.
 var (
-	// RunMonteCarlo executes the Fig. 7 experiment.
-	RunMonteCarlo = montecarlo.Run
 	// DefaultMonteCarloConfig reproduces the paper's 1000-trial setup.
 	DefaultMonteCarloConfig = montecarlo.DefaultConfig
 )
+
+// RunMonteCarlo executes the Fig. 7 experiment with background context.
+//
+// Deprecated: use RunMonteCarloContext or Runner.RunMonteCarlo, which add
+// cancellation, an explicit worker bound and progress reporting. This shim
+// runs on all available cores and produces identical results.
+func RunMonteCarlo(cfg MonteCarloConfig) (*MonteCarloResults, error) {
+	return montecarlo.Run(cfg)
+}
 
 // Extensions beyond the paper.
 type (

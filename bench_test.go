@@ -10,6 +10,9 @@
 package bankaware_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -153,6 +156,44 @@ func BenchmarkFig7MonteCarlo(b *testing.B) {
 		}
 		b.ReportMetric(res.MeanUnrestrictedRatio, "unrestrictedVsEqual")
 		b.ReportMetric(res.MeanBankAwareRatio, "bankAwareVsEqual")
+	}
+}
+
+// BenchmarkEngineMonteCarlo measures the Fig. 7 campaign under explicit
+// worker bounds of the parallel engine. Results are bit-identical across
+// bounds (the determinism tests pin this); only wall time changes, scaling
+// near-linearly with cores on multicore hosts.
+func BenchmarkEngineMonteCarlo(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := montecarlo.DefaultConfig()
+				cfg.Trials = 1000
+				res, err := montecarlo.RunContext(context.Background(), cfg,
+					montecarlo.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MeanBankAwareRatio, "bankAwareVsEqual")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFig8Campaign measures the detailed-simulation campaign (8
+// sets x 3 policies flattened to 24 jobs) under explicit worker bounds.
+func BenchmarkEngineFig8Campaign(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunFig8Fig9Context(context.Background(),
+					experiments.ScaleModel, 400_000, experiments.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.GMRelMissBank, "gmRelMissBank")
+			}
+		})
 	}
 }
 

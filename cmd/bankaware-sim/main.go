@@ -6,18 +6,25 @@
 //
 //	bankaware-sim -set 6 -policy bankaware -show-allocation
 //	bankaware-sim -workloads sixtrack,art,gzip,mcf,crafty,swim,mesa,equake -policy none
-//	bankaware-sim -fig8
+//	bankaware-sim -fig8 -parallel 8 -progress
+//	bankaware-sim -fig8 -timeout 10m
 //	bankaware-sim -table3
+//
+// The -fig8 campaign fans its 24 simulations (8 sets x 3 policies) out on
+// the parallel engine; results are identical for any -parallel value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bankaware/internal/core"
 	"bankaware/internal/experiments"
+	"bankaware/internal/runner"
 	"bankaware/internal/sim"
 	"bankaware/internal/trace"
 )
@@ -36,8 +43,22 @@ func main() {
 		list      = flag.Bool("list", false, "list catalog workloads")
 		csvPath   = flag.String("csv", "", "with -fig8: also write per-set rows to this CSV file")
 		markdown  = flag.Bool("markdown", false, "with -fig8: also print a Markdown table")
+		parallel  = flag.Int("parallel", 0, "worker bound (0 = all cores); results do not depend on it")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		progress  = flag.Bool("progress", false, "render a live progress line on stderr")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := experiments.Options{Workers: *parallel}
+	if *progress {
+		opt.Progress = runner.Printer(os.Stderr, "sims")
+	}
 
 	if *list {
 		for _, n := range trace.CatalogNames() {
@@ -59,11 +80,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := sys.Run(budget / 2); err != nil {
+		if err := sys.RunContext(ctx, budget/2); err != nil {
 			fatal(err)
 		}
 		sys.ResetStats()
-		if err := sys.Run(budget); err != nil {
+		if err := sys.RunContext(ctx, budget); err != nil {
 			fatal(err)
 		}
 		fmt.Print(sys.Result(rc.Workloads).String())
@@ -96,11 +117,13 @@ func main() {
 		fmt.Print(experiments.FormatTableIII(rows))
 		return
 	case *fig8:
-		r, err := experiments.RunFig8Fig9(scale, budget)
+		start := time.Now()
+		r, err := experiments.RunFig8Fig9Context(ctx, scale, budget, opt)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("Relative miss rate and CPI vs No-partitions (Figs. 8 and 9):")
+		fmt.Printf("Relative miss rate and CPI vs No-partitions (Figs. 8 and 9), %.1fs wall:\n",
+			time.Since(start).Seconds())
 		fmt.Print(r.String())
 		if *csvPath != "" {
 			f, err := os.Create(*csvPath)
@@ -141,11 +164,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := sys.Run(budget / 2); err != nil {
+	if err := sys.RunContext(ctx, budget/2); err != nil {
 		fatal(err)
 	}
 	sys.ResetStats()
-	if err := sys.Run(budget); err != nil {
+	if err := sys.RunContext(ctx, budget); err != nil {
 		fatal(err)
 	}
 	fmt.Print(sys.Result(names).String())

@@ -4,37 +4,59 @@
 // Bank-aware allocators, sorted by the Unrestricted ratio.
 //
 //	montecarlo -trials 1000
-//	montecarlo -trials 1000 -csv results.csv
+//	montecarlo -trials 1000 -parallel 8 -progress
+//	montecarlo -trials 1000 -timeout 30s -csv results.csv
+//
+// Trials fan out on the parallel engine; for a fixed seed the results are
+// bit-identical for any -parallel value.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"bankaware/internal/montecarlo"
+	"bankaware/internal/runner"
 	"bankaware/internal/textplot"
 )
 
 func main() {
 	var (
-		trials  = flag.Int("trials", 1000, "number of random workload mixes")
-		seed    = flag.Uint64("seed", 2009, "random seed")
-		csvPath = flag.String("csv", "", "write per-trial rows to this CSV file")
-		chart   = flag.Bool("chart", true, "render the sorted-ratio chart")
+		trials   = flag.Int("trials", 1000, "number of random workload mixes")
+		seed     = flag.Uint64("seed", 2009, "random seed")
+		csvPath  = flag.String("csv", "", "write per-trial rows to this CSV file")
+		chart    = flag.Bool("chart", true, "render the sorted-ratio chart")
+		parallel = flag.Int("parallel", 0, "worker bound (0 = all cores); results do not depend on it")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		progress = flag.Bool("progress", false, "render a live progress line on stderr")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := montecarlo.Options{Workers: *parallel}
+	if *progress {
+		opt.Progress = runner.Printer(os.Stderr, "trials")
+	}
 
 	cfg := montecarlo.DefaultConfig()
 	cfg.Trials = *trials
 	cfg.Seed = *seed
-	res, err := montecarlo.Run(cfg)
+	start := time.Now()
+	res, err := montecarlo.RunContext(ctx, cfg, opt)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(res.Summary())
+	fmt.Printf("%s  (%.2fs wall)\n", res.Summary(), time.Since(start).Seconds())
 
 	if *chart {
 		var u, b []float64

@@ -4,16 +4,18 @@
 //
 //	profile -fig2
 //	profile -fig3
-//	profile -fig3 -workloads mcf,facerec,gzip
+//	profile -fig3 -workloads mcf,facerec,gzip -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"bankaware/internal/experiments"
+	"bankaware/internal/runner"
 	"bankaware/internal/textplot"
 )
 
@@ -23,10 +25,24 @@ func main() {
 		fig3      = flag.Bool("fig3", false, "print Fig. 3 cumulative miss-ratio curves")
 		workloads = flag.String("workloads", "", "comma-separated workloads for -fig3 (default: the paper's sixtrack,bzip2,applu)")
 		accesses  = flag.Int("accesses", 500_000, "profiled accesses per workload")
+		parallel  = flag.Int("parallel", 0, "worker bound for -fig3 (0 = all cores); results do not depend on it")
+		timeout   = flag.Duration("timeout", 0, "abort profiling after this duration (0 = none)")
+		progress  = flag.Bool("progress", false, "render a live progress line on stderr")
 	)
 	flag.Parse()
 	if !*fig2 && !*fig3 {
 		*fig2, *fig3 = true, true
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := experiments.Options{Workers: *parallel}
+	if *progress {
+		opt.Progress = runner.Printer(os.Stderr, "workloads")
 	}
 
 	if *fig2 {
@@ -50,7 +66,7 @@ func main() {
 		if *workloads != "" {
 			names = strings.Split(*workloads, ",")
 		}
-		curves, err := experiments.Fig3Curves(names, *accesses, experiments.ScaleModel)
+		curves, err := experiments.Fig3CurvesContext(ctx, names, *accesses, experiments.ScaleModel, opt)
 		if err != nil {
 			fatal(err)
 		}

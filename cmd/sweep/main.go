@@ -4,11 +4,12 @@
 //
 //	sweep -aggregation
 //	sweep -ablation profiler
-//	sweep -ablation epoch
-//	sweep -ablation cap
+//	sweep -ablation epoch -parallel 4 -progress
+//	sweep -ablation cap -timeout 2m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"bankaware/internal/experiments"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/msa"
+	"bankaware/internal/runner"
 	"bankaware/internal/stats"
 	"bankaware/internal/trace"
 )
@@ -25,12 +27,26 @@ import (
 func main() {
 	var (
 		aggregation = flag.Bool("aggregation", false, "compare the Fig. 4 bank-aggregation schemes")
-		ablation    = flag.String("ablation", "", "run an ablation: profiler|epoch|cap")
+		ablation    = flag.String("ablation", "", "run an ablation: profiler|epoch|cap|plru|strict")
 		accesses    = flag.Int("accesses", 200_000, "accesses for aggregation/profiler studies")
+		parallel    = flag.Int("parallel", 0, "worker bound (0 = all cores); results do not depend on it")
+		timeout     = flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+		progress    = flag.Bool("progress", false, "render a live progress line on stderr")
 	)
 	flag.Parse()
 	if !*aggregation && *ablation == "" {
 		*aggregation = true
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := experiments.Options{Workers: *parallel}
+	if *progress {
+		opt.Progress = runner.Printer(os.Stderr, "jobs")
 	}
 
 	if *aggregation {
@@ -47,20 +63,20 @@ func main() {
 	case "profiler":
 		profilerAblation(*accesses)
 	case "epoch":
-		epochAblation()
+		epochAblation(ctx, opt)
 	case "cap":
-		capAblation()
+		capAblation(ctx, *parallel, opt.Progress)
 	case "plru":
-		plruAblation()
+		plruAblation(ctx, opt)
 	case "strict":
-		strictAblation()
+		strictAblation(ctx, opt)
 	default:
 		fatal(fmt.Errorf("unknown ablation %q (want profiler|epoch|cap|plru|strict)", *ablation))
 	}
 }
 
 // plruAblation compares true LRU banks against tree pseudo-LRU.
-func plruAblation() {
+func plruAblation(ctx context.Context, opt experiments.Options) {
 	fmt.Println("\nReplacement-policy ablation (set 5, bank-aware, rel misses vs No-partitions):")
 	fmt.Printf("%-10s %-12s\n", "policy", "relMisses")
 	for _, v := range []struct {
@@ -69,7 +85,7 @@ func plruAblation() {
 	}{{cache.LRU, "LRU"}, {cache.TreePLRU, "TreePLRU"}} {
 		cfg := experiments.ScaleModel.Config()
 		cfg.L2Replacement = v.rep
-		r, err := experiments.RunSet(cfg, 5, experiments.TableIIISets[4][:], 1_500_000)
+		r, err := experiments.RunSetContext(ctx, cfg, 5, experiments.TableIIISets[4][:], 1_500_000, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,7 +94,7 @@ func plruAblation() {
 }
 
 // strictAblation compares lazy vs strict way-ownership enforcement.
-func strictAblation() {
+func strictAblation(ctx context.Context, opt experiments.Options) {
 	fmt.Println("\nEnforcement ablation (set 1, bank-aware, rel misses vs No-partitions):")
 	fmt.Printf("%-10s %-12s\n", "lookup", "relMisses")
 	for _, v := range []struct {
@@ -87,7 +103,7 @@ func strictAblation() {
 	}{{false, "lazy"}, {true, "strict"}} {
 		cfg := experiments.ScaleModel.Config()
 		cfg.L2StrictLookup = v.strict
-		r, err := experiments.RunSet(cfg, 1, experiments.TableIIISets[0][:], 1_500_000)
+		r, err := experiments.RunSetContext(ctx, cfg, 1, experiments.TableIIISets[0][:], 1_500_000, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -137,7 +153,7 @@ func profileCurve(spec trace.Spec, cfg msa.Config, accesses int) []float64 {
 }
 
 // epochAblation sweeps the repartitioning period on one Table III set.
-func epochAblation() {
+func epochAblation(ctx context.Context, opt experiments.Options) {
 	fmt.Println("\nEpoch-length sweep (set 6, bank-aware, relative misses vs No-partitions):")
 	fmt.Printf("%-14s %-12s %-10s\n", "epoch cycles", "relMisses", "epochs")
 	scale := experiments.ScaleModel
@@ -145,7 +161,7 @@ func epochAblation() {
 	for _, epoch := range []int64{200_000, 750_000, 1_500_000, 6_000_000} {
 		cfg := scale.Config()
 		cfg.EpochCycles = epoch
-		r, err := experiments.RunSet(cfg, 6, set[:], 2_000_000)
+		r, err := experiments.RunSetContext(ctx, cfg, 6, set[:], 2_000_000, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -155,7 +171,7 @@ func epochAblation() {
 
 // capAblation sweeps the maximum-assignable-capacity restriction in the
 // Monte Carlo projection.
-func capAblation() {
+func capAblation(ctx context.Context, workers int, progress runner.ProgressFunc) {
 	fmt.Println("\nCapacity-cap sweep (Monte Carlo mean relative miss ratio vs equal):")
 	fmt.Printf("%-10s %-14s %-12s\n", "cap ways", "unrestricted", "bank-aware")
 	for _, capWays := range []int{32, 48, 72, 128} {
@@ -164,7 +180,7 @@ func capAblation() {
 		cfg.Seed = 7
 		cfg.Unrestricted.MaxCoreWays = capWays
 		cfg.BankAware.MaxCoreWays = capWays
-		res, err := montecarlo.Run(cfg)
+		res, err := montecarlo.RunContext(ctx, cfg, montecarlo.Options{Workers: workers, Progress: progress})
 		if err != nil {
 			fatal(err)
 		}

@@ -49,6 +49,14 @@ func NewBandwidthAwarePolicy() *BandwidthAwarePolicy {
 // Name implements Policy.
 func (*BandwidthAwarePolicy) Name() string { return "Bandwidth-aware" }
 
+// Clone implements Cloner: parameters and current weights carry over, the
+// remembered allocation does not.
+func (p *BandwidthAwarePolicy) Clone() Policy {
+	c := &BandwidthAwarePolicy{Config: p.Config, Hysteresis: p.Hysteresis}
+	c.weights = p.weights
+	return c
+}
+
 // SetFeedback implements FeedbackPolicy. Weights are clamped to [0.25, 4]
 // so one noisy epoch cannot invert the allocation; missing entries keep
 // their previous value.

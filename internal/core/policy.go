@@ -5,12 +5,36 @@ import "fmt"
 // Policy computes a physical L2 allocation from per-core miss curves. The
 // epoch controller invokes the active policy at every repartitioning epoch
 // (Section IV: 100M-cycle epochs).
+//
+// A Policy instance is single-simulation state: the dynamic policies keep
+// the previous epoch's allocation for placement affinity and hysteresis, so
+// one instance must never be shared between concurrently running systems.
+// Hand each parallel simulation its own instance — either construct a fresh
+// one per run or derive one from a prototype with ClonePolicy.
 type Policy interface {
 	// Name identifies the policy in reports ("Bank-aware", ...).
 	Name() string
 	// Allocate maps the cores' projected miss curves to an allocation.
 	// Static policies ignore the curves.
 	Allocate(curves []MissCurve) (*Allocation, error)
+}
+
+// Cloner is implemented by policies that carry per-simulation state and can
+// produce a fresh instance with the same configuration but none of the
+// accumulated state.
+type Cloner interface {
+	// Clone returns an unstarted policy with this one's parameters.
+	Clone() Policy
+}
+
+// ClonePolicy returns a policy safe to hand to another simulation: a fresh
+// clone when p is stateful (implements Cloner), or p itself when it is a
+// stateless value like the static baselines.
+func ClonePolicy(p Policy) Policy {
+	if c, ok := p.(Cloner); ok {
+		return c.Clone()
+	}
+	return p
 }
 
 // NoPartitionPolicy is the paper's "No-partitions" baseline: one shared LRU
@@ -64,6 +88,12 @@ func NewBankAwarePolicy() *BankAwarePolicy {
 
 // Name implements Policy.
 func (*BankAwarePolicy) Name() string { return "Bank-aware" }
+
+// Clone implements Cloner: same Config and Hysteresis, no remembered
+// allocation, so parallel simulations never share the prev pointer.
+func (p *BankAwarePolicy) Clone() Policy {
+	return &BankAwarePolicy{Config: p.Config, Hysteresis: p.Hysteresis}
+}
 
 // Allocate implements Policy.
 func (p *BankAwarePolicy) Allocate(curves []MissCurve) (*Allocation, error) {

@@ -1,0 +1,100 @@
+package core
+
+import "testing"
+
+// mkCurves builds valid per-core curves so Allocate can run for real and
+// populate the policies' remembered state.
+func mkCurves(t *testing.T) []MissCurve {
+	t.Helper()
+	curves := make([]MissCurve, 8)
+	for i := range curves {
+		c := make(MissCurve, 129)
+		for w := range c {
+			// Diminishing-returns curve, steeper for higher core indices.
+			c[w] = float64(1000*(i+1)) / float64(w+1)
+		}
+		curves[i] = c
+	}
+	return curves
+}
+
+func TestClonePolicyStatelessPassthrough(t *testing.T) {
+	for _, p := range []Policy{NoPartitionPolicy{}, EqualPolicy{}} {
+		if got := ClonePolicy(p); got != p {
+			t.Fatalf("%s: stateless policy not passed through", p.Name())
+		}
+	}
+}
+
+func TestCloneDropsRememberedAllocation(t *testing.T) {
+	curves := mkCurves(t)
+	for _, tc := range []struct {
+		name  string
+		make  func() Policy
+		state func(Policy) *Allocation
+	}{
+		{"bankaware", func() Policy { return NewBankAwarePolicy() },
+			func(p Policy) *Allocation { return p.(*BankAwarePolicy).prev }},
+		{"unrestricted", func() Policy { return NewUnrestrictedPolicy() },
+			func(p Policy) *Allocation { return p.(*UnrestrictedPolicy).prev }},
+		{"bandwidth", func() Policy { return NewBandwidthAwarePolicy() },
+			func(p Policy) *Allocation { return p.(*BandwidthAwarePolicy).prev }},
+	} {
+		p := tc.make()
+		if _, err := p.Allocate(curves); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tc.state(p) == nil {
+			t.Fatalf("%s: Allocate left no state — test is vacuous", tc.name)
+		}
+		clone := ClonePolicy(p)
+		if clone == p {
+			t.Fatalf("%s: clone is the same instance", tc.name)
+		}
+		if clone.Name() != p.Name() {
+			t.Fatalf("%s: clone renamed to %q", tc.name, clone.Name())
+		}
+		if tc.state(clone) != nil {
+			t.Fatalf("%s: clone shares the prev allocation", tc.name)
+		}
+	}
+}
+
+func TestCloneKeepsParameters(t *testing.T) {
+	p := NewBankAwarePolicy()
+	p.Hysteresis = 0.42
+	p.Config.MaxCoreWays = 48
+	c := ClonePolicy(p).(*BankAwarePolicy)
+	if c.Hysteresis != 0.42 || c.Config.MaxCoreWays != 48 {
+		t.Fatalf("clone lost parameters: %+v", c)
+	}
+
+	bw := NewBandwidthAwarePolicy()
+	bw.SetFeedback([]float64{2, 2, 2, 2, 2, 2, 2, 2})
+	bc := ClonePolicy(bw).(*BandwidthAwarePolicy)
+	if bc.Weights() != bw.Weights() {
+		t.Fatal("bandwidth clone lost feedback weights")
+	}
+}
+
+// Cloned policies must produce the same first-epoch allocation as a fresh
+// one — determinism of parallel campaigns depends on it.
+func TestCloneFirstAllocationMatchesFresh(t *testing.T) {
+	curves := mkCurves(t)
+	used := NewBankAwarePolicy()
+	if _, err := used.Allocate(curves); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewBankAwarePolicy()
+	a1, err := ClonePolicy(used).Allocate(curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := fresh.Allocate(curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Ways != a2.Ways {
+		t.Fatalf("clone first allocation %v != fresh %v", a1.Ways, a2.Ways)
+	}
+}

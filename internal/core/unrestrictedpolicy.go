@@ -32,6 +32,11 @@ func NewUnrestrictedPolicy() *UnrestrictedPolicy {
 // Name implements Policy.
 func (*UnrestrictedPolicy) Name() string { return "Unrestricted" }
 
+// Clone implements Cloner: fresh instance, no remembered allocation.
+func (p *UnrestrictedPolicy) Clone() Policy {
+	return &UnrestrictedPolicy{Config: p.Config, Hysteresis: p.Hysteresis}
+}
+
 // Allocate implements Policy.
 func (p *UnrestrictedPolicy) Allocate(curves []MissCurve) (*Allocation, error) {
 	ways, err := Unrestricted(curves, p.Config)

@@ -7,15 +7,36 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"bankaware/internal/core"
 	"bankaware/internal/msa"
+	"bankaware/internal/runner"
 	"bankaware/internal/sim"
 	"bankaware/internal/stats"
 	"bankaware/internal/trace"
 )
+
+// Options tunes how a campaign executes without affecting what it computes:
+// every simulation is deterministic in (config, policy, specs), so results
+// are identical for any worker count.
+type Options struct {
+	// Workers bounds the fan-out; zero selects GOMAXPROCS.
+	Workers int
+	// Progress receives engine events for live progress reporting.
+	Progress runner.ProgressFunc
+	// Seed, when non-zero, overrides the simulator seed of every run.
+	Seed uint64
+}
+
+func (o Options) apply(cfg sim.Config) sim.Config {
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
 
 // TableIIISets are the paper's eight detailed-simulation workload mixes
 // (Table III), core 0 through core 7.
@@ -84,8 +105,15 @@ type SetResult struct {
 	TotalMissEqual, TotalMissBank float64
 }
 
-// RunSet simulates one workload set under the three policies.
-func RunSet(cfg sim.Config, set int, workloads []string, instructions uint64) (*SetResult, error) {
+// setPolicyPrototypes are the three policies every Table III set is
+// evaluated under. Each simulation clones its own instance (stateful
+// policies must never be shared between runs).
+func setPolicyPrototypes() [3]core.Policy {
+	return [3]core.Policy{core.NoPartitionPolicy{}, core.EqualPolicy{}, core.NewBankAwarePolicy()}
+}
+
+// resolveSpecs looks the workload names up in the catalog.
+func resolveSpecs(workloads []string) ([]trace.Spec, error) {
 	specs := make([]trace.Spec, len(workloads))
 	for i, n := range workloads {
 		s, err := trace.SpecByName(n)
@@ -94,40 +122,61 @@ func RunSet(cfg sim.Config, set int, workloads []string, instructions uint64) (*
 		}
 		specs[i] = s
 	}
-	run := func(p core.Policy) (sim.Result, error) {
-		sys, err := sim.New(cfg, p, specs)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		// Warm-up covers working-set build-up and the first epochs of
-		// dynamic adaptation, like the paper's fast-forward + warm-up.
-		if err := sys.Run(instructions / 2); err != nil {
-			return sim.Result{}, err
-		}
-		sys.ResetStats()
-		if err := sys.Run(instructions); err != nil {
-			return sim.Result{}, err
-		}
-		return sys.Result(workloads), nil
-	}
-	none, err := run(core.NoPartitionPolicy{})
+	return specs, nil
+}
+
+// runPolicy executes one full simulation — warm-up, stats reset, measured
+// phase — under its own clone of the policy prototype.
+func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64) (sim.Result, error) {
+	sys, err := sim.New(cfg, core.ClonePolicy(proto), specs)
 	if err != nil {
-		return nil, err
+		return sim.Result{}, err
 	}
-	equal, err := run(core.EqualPolicy{})
-	if err != nil {
-		return nil, err
+	// Warm-up covers working-set build-up and the first epochs of
+	// dynamic adaptation, like the paper's fast-forward + warm-up.
+	if err := sys.RunContext(ctx, instructions/2); err != nil {
+		return sim.Result{}, err
 	}
-	bank, err := run(core.NewBankAwarePolicy())
-	if err != nil {
-		return nil, err
+	sys.ResetStats()
+	if err := sys.RunContext(ctx, instructions); err != nil {
+		return sim.Result{}, err
 	}
+	return sys.Result(workloads), nil
+}
+
+// newSetResult folds the three policy results into the Figs. 8/9 ratios.
+func newSetResult(set int, workloads []string, none, equal, bank sim.Result) *SetResult {
 	r := &SetResult{Set: set, Workloads: workloads, None: none, Equal: equal, Bank: bank}
 	r.RelMissEqual, r.RelCPIEqual = equal.PerCoreRelative(none)
 	r.RelMissBank, r.RelCPIBank = bank.PerCoreRelative(none)
 	r.TotalMissEqual, _ = equal.Relative(none)
 	r.TotalMissBank, _ = bank.Relative(none)
-	return r, nil
+	return r
+}
+
+// RunSet simulates one workload set under the three policies, serially.
+// It is the context-free shim over RunSetContext.
+func RunSet(cfg sim.Config, set int, workloads []string, instructions uint64) (*SetResult, error) {
+	return RunSetContext(context.Background(), cfg, set, workloads, instructions, Options{Workers: 1})
+}
+
+// RunSetContext simulates one workload set under the three policies, fanned
+// out on the engine (one job per policy).
+func RunSetContext(ctx context.Context, cfg sim.Config, set int, workloads []string, instructions uint64, opt Options) (*SetResult, error) {
+	cfg = opt.apply(cfg)
+	specs, err := resolveSpecs(workloads)
+	if err != nil {
+		return nil, err
+	}
+	protos := setPolicyPrototypes()
+	results, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+		len(protos), func(ctx context.Context, job int) (sim.Result, error) {
+			return runPolicy(ctx, cfg, specs, protos[job], workloads, instructions)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return newSetResult(set, workloads, results[0], results[1], results[2]), nil
 }
 
 // Fig8Fig9 runs all eight Table III sets and returns the per-set results
@@ -139,19 +188,47 @@ type Fig8Fig9Result struct {
 	GMRelCPIEqual, GMRelCPIBank   float64
 }
 
-// RunFig8Fig9 executes the detailed-simulation experiment.
+// RunFig8Fig9 executes the detailed-simulation experiment on all available
+// cores. It is the context-free shim over RunFig8Fig9Context.
 func RunFig8Fig9(scale Scale, instructions uint64) (*Fig8Fig9Result, error) {
-	cfg := scale.Config()
+	return RunFig8Fig9Context(context.Background(), scale, instructions, Options{})
+}
+
+// RunFig8Fig9Context executes the detailed-simulation experiment with the
+// campaign flattened to 24 independent jobs (8 Table III sets x 3 policies)
+// so the engine keeps every worker busy instead of barriering per set. Each
+// job is a self-contained simulation, so results are identical for any
+// worker count.
+func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, opt Options) (*Fig8Fig9Result, error) {
+	cfg := opt.apply(scale.Config())
 	if instructions == 0 {
 		instructions = scale.DefaultInstructions()
 	}
+	const policies = 3
+	protos := setPolicyPrototypes()
+	jobs := len(TableIIISets) * policies
+	results, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+		jobs, func(ctx context.Context, job int) (sim.Result, error) {
+			set, pol := job/policies, job%policies
+			specs, err := resolveSpecs(TableIIISets[set][:])
+			if err != nil {
+				return sim.Result{}, err
+			}
+			r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions)
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("set %d (%s): %w", set+1, protos[pol].Name(), err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	out := &Fig8Fig9Result{}
 	var me, mb, ce, cb []float64
-	for i, set := range TableIIISets {
-		r, err := RunSet(cfg, i+1, set[:], instructions)
-		if err != nil {
-			return nil, fmt.Errorf("set %d: %w", i+1, err)
-		}
+	for i := range TableIIISets {
+		r := newSetResult(i+1, TableIIISets[i][:],
+			results[i*policies], results[i*policies+1], results[i*policies+2])
 		out.Sets = append(out.Sets, *r)
 		me = append(me, r.RelMissEqual)
 		mb = append(mb, r.RelMissBank)

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bankaware/internal/runner"
+)
+
+// Parallel and serial campaigns must agree exactly: each simulation is
+// deterministic in (config, policy, specs), and the engine stores results
+// by job index.
+func TestRunSetContextParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed simulation in -short mode")
+	}
+	cfg := ScaleModel.Config()
+	serial, err := RunSetContext(context.Background(), cfg, 2, TableIIISets[1][:], 200_000, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSetContext(context.Background(), cfg, 2, TableIIISets[1][:], 200_000, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.None != parallel.None || serial.Equal != parallel.Equal || serial.Bank != parallel.Bank {
+		t.Fatal("per-policy results differ between serial and parallel runs")
+	}
+	if serial.RelMissBank != parallel.RelMissBank || serial.RelCPIBank != parallel.RelCPIBank {
+		t.Fatalf("derived ratios differ: %v vs %v", serial.RelMissBank, parallel.RelMissBank)
+	}
+}
+
+func TestRunFig8Fig9ContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var started bool
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunFig8Fig9Context(ctx, ScaleModel, 50_000_000, Options{
+			Workers: 2,
+			Progress: func(p runner.Progress) {
+				if p.Kind == runner.JobStarted && !started {
+					started = true
+					close(done)
+				}
+			},
+		})
+		errc <- err
+	}()
+	<-done
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign did not unwind after cancellation")
+	}
+}
+
+func TestRunSetContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := RunSetContext(ctx, ScaleModel.Config(), 1, TableIIISets[0][:], 50_000_000, Options{Workers: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestOptionsSeedOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed simulation in -short mode")
+	}
+	cfg := ScaleModel.Config()
+	base, err := RunSetContext(context.Background(), cfg, 1, TableIIISets[0][:], 100_000, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reseeded, err := RunSetContext(context.Background(), cfg, 1, TableIIISets[0][:], 100_000, Options{Workers: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.None == reseeded.None {
+		t.Fatal("seed override had no effect on the workload streams")
+	}
+}
+
+func TestFig3CurvesContextParallelMatchesSerial(t *testing.T) {
+	names := []string{"sixtrack", "bzip2", "applu", "mcf"}
+	serial, err := Fig3CurvesContext(context.Background(), names, 60_000, ScaleModel, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig3CurvesContext(context.Background(), names, 60_000, ScaleModel, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Workload != parallel[i].Workload {
+			t.Fatalf("curve %d order differs", i)
+		}
+		for w := range serial[i].Ratio {
+			if serial[i].Ratio[w] != parallel[i].Ratio[w] {
+				t.Fatalf("%s ratio[%d] differs", serial[i].Workload, w)
+			}
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"bankaware/internal/core"
 	"bankaware/internal/msa"
 	"bankaware/internal/nuca"
+	"bankaware/internal/runner"
 	"bankaware/internal/stats"
 	"bankaware/internal/trace"
 )
@@ -56,28 +58,39 @@ type Fig3Curve struct {
 // (each "executing stand-alone on our baseline CMP using just a single
 // core") and projects their cumulative miss-ratio curves.
 func Fig3Curves(names []string, accesses int, scale Scale) ([]Fig3Curve, error) {
-	simCfg := scale.Config()
-	var out []Fig3Curve
-	for i, name := range names {
-		spec, err := trace.SpecByName(name)
-		if err != nil {
-			return nil, err
-		}
-		p, err := msa.NewProfiler(simCfg.Profiler)
-		if err != nil {
-			return nil, err
-		}
-		g, err := trace.NewGenerator(spec, stats.NewRNG(uint64(i+1), 42),
-			trace.GeneratorConfig{BlocksPerWay: simCfg.BankSets})
-		if err != nil {
-			return nil, err
-		}
-		for k := 0; k < accesses; k++ {
-			p.Access(g.Next().Access.Addr)
-		}
-		out = append(out, Fig3Curve{Workload: name, Ratio: p.MissRatioCurve()})
-	}
-	return out, nil
+	return Fig3CurvesContext(context.Background(), names, accesses, scale, Options{})
+}
+
+// Fig3CurvesContext is Fig3Curves fanned out one job per workload. Each
+// workload's generator is seeded by its index, so the curves are identical
+// for any worker count.
+func Fig3CurvesContext(ctx context.Context, names []string, accesses int, scale Scale, opt Options) ([]Fig3Curve, error) {
+	simCfg := opt.apply(scale.Config())
+	return runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+		len(names), func(ctx context.Context, i int) (Fig3Curve, error) {
+			spec, err := trace.SpecByName(names[i])
+			if err != nil {
+				return Fig3Curve{}, err
+			}
+			p, err := msa.NewProfiler(simCfg.Profiler)
+			if err != nil {
+				return Fig3Curve{}, err
+			}
+			g, err := trace.NewGenerator(spec, stats.NewRNG(uint64(i+1), 42),
+				trace.GeneratorConfig{BlocksPerWay: simCfg.BankSets})
+			if err != nil {
+				return Fig3Curve{}, err
+			}
+			for k := 0; k < accesses; k++ {
+				if k%65536 == 0 {
+					if err := ctx.Err(); err != nil {
+						return Fig3Curve{}, err
+					}
+				}
+				p.Access(g.Next().Access.Addr)
+			}
+			return Fig3Curve{Workload: names[i], Ratio: p.MissRatioCurve()}, nil
+		})
 }
 
 // TableIIRow is one row of the profiler-overhead table.

@@ -9,11 +9,13 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"bankaware/internal/core"
 	"bankaware/internal/nuca"
+	"bankaware/internal/runner"
 	"bankaware/internal/stats"
 	"bankaware/internal/trace"
 )
@@ -60,8 +62,28 @@ type Results struct {
 	MeanBankAwareRatio    float64
 }
 
-// Run executes the experiment.
+// Options tunes how the experiment executes without affecting what it
+// computes: results are bit-identical for every worker count.
+type Options struct {
+	// Workers bounds the fan-out; zero selects GOMAXPROCS.
+	Workers int
+	// Progress receives engine events for live progress reporting.
+	Progress runner.ProgressFunc
+}
+
+// Run executes the experiment serially-equivalent on all available cores.
+// It is the context-free shim over RunContext.
 func Run(cfg Config) (*Results, error) {
+	return RunContext(context.Background(), cfg, Options{})
+}
+
+// RunContext executes the experiment on a bounded worker pool. All workload
+// draws happen serially up front from the seeded RNG, and the per-trial
+// allocator runs (the expensive part) fan out with results stored by trial
+// index — so for a fixed cfg.Seed the Results are bit-identical whether
+// Workers is 1 or 100. Cancellation or a deadline on ctx stops the fan-out
+// and returns the context's error.
+func RunContext(ctx context.Context, cfg Config, opt Options) (*Results, error) {
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("montecarlo: trials must be positive, got %d", cfg.Trials)
 	}
@@ -93,43 +115,60 @@ func Run(cfg Config) (*Results, error) {
 		curves[i] = c
 	}
 
+	// Draw every trial's mix serially from the seeded RNG. This pins the
+	// draw sequence to the seed alone (identical to the historical serial
+	// implementation) and leaves only deterministic allocator math to the
+	// parallel section.
 	rng := stats.NewRNG(cfg.Seed, cfg.Seed^0xa5a5a5a5a5a5a5a5)
+	mixes := make([][nuca.NumCores]int, cfg.Trials)
+	for t := range mixes {
+		for c := 0; c < nuca.NumCores; c++ {
+			mixes[t][c] = rng.IntN(len(pool))
+		}
+	}
+
 	equalWays := make([]int, nuca.NumCores)
 	for i := range equalWays {
 		equalWays[i] = cfg.Unrestricted.TotalWays / nuca.NumCores
 	}
 
-	res := &Results{Trials: make([]Trial, 0, cfg.Trials)}
-	var sumU, sumB float64
-	for t := 0; t < cfg.Trials; t++ {
-		mix := make([]core.MissCurve, nuca.NumCores)
-		var tr Trial
-		for c := 0; c < nuca.NumCores; c++ {
-			k := rng.IntN(len(pool))
-			mix[c] = curves[k]
-			tr.Workloads[c] = pool[k].Name
-		}
-		equalM, err := core.ProjectTotalMisses(mix, equalWays)
-		if err != nil {
-			return nil, err
-		}
-		ua, err := core.Unrestricted(mix, cfg.Unrestricted)
-		if err != nil {
-			return nil, err
-		}
-		uM, _ := core.ProjectTotalMisses(mix, ua)
-		ba, err := core.BankAware(mix, cfg.BankAware)
-		if err != nil {
-			return nil, err
-		}
-		bM, _ := core.ProjectTotalMisses(mix, ba.Ways[:])
+	trials, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+		cfg.Trials, func(_ context.Context, t int) (Trial, error) {
+			mix := make([]core.MissCurve, nuca.NumCores)
+			var tr Trial
+			for c, k := range mixes[t] {
+				mix[c] = curves[k]
+				tr.Workloads[c] = pool[k].Name
+			}
+			equalM, err := core.ProjectTotalMisses(mix, equalWays)
+			if err != nil {
+				return Trial{}, err
+			}
+			ua, err := core.Unrestricted(mix, cfg.Unrestricted)
+			if err != nil {
+				return Trial{}, err
+			}
+			uM, _ := core.ProjectTotalMisses(mix, ua)
+			ba, err := core.BankAware(mix, cfg.BankAware)
+			if err != nil {
+				return Trial{}, err
+			}
+			bM, _ := core.ProjectTotalMisses(mix, ba.Ways[:])
 
-		tr.EqualMisses = equalM
-		tr.UnrestrictedRatio = stats.Ratio(uM, equalM)
-		tr.BankAwareRatio = stats.Ratio(bM, equalM)
+			tr.EqualMisses = equalM
+			tr.UnrestrictedRatio = stats.Ratio(uM, equalM)
+			tr.BankAwareRatio = stats.Ratio(bM, equalM)
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Results{Trials: trials}
+	var sumU, sumB float64
+	for _, tr := range res.Trials {
 		sumU += tr.UnrestrictedRatio
 		sumB += tr.BankAwareRatio
-		res.Trials = append(res.Trials, tr)
 	}
 	sort.Slice(res.Trials, func(i, j int) bool {
 		return res.Trials[i].UnrestrictedRatio < res.Trials[j].UnrestrictedRatio

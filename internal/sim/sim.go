@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"bankaware/internal/cache"
@@ -528,10 +529,26 @@ func (s *System) l2Access(c int, addr trace.Addr, write bool, issueAt int64) int
 // instructions. Cores are interleaved in local-clock order. Epoch
 // boundaries trigger repartitioning.
 func (s *System) Run(instructions uint64) error {
+	return s.RunContext(context.Background(), instructions)
+}
+
+// RunContext is Run with cooperative cancellation: the step loop polls ctx
+// every few thousand steps and returns the context's error once it is done.
+// The polling never alters the step order, so a run that is not cancelled
+// is bit-identical to Run.
+func (s *System) RunContext(ctx context.Context, instructions uint64) error {
+	const pollEvery = 8192
+	steps := 0
 	for c := range s.finished {
 		s.finished[c] = s.cores[c].Instructions() >= instructions
 	}
 	for {
+		if steps++; steps >= pollEvery {
+			steps = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		c := -1
 		var tmin int64
 		for i, cpuCore := range s.cores {

@@ -37,6 +37,18 @@ func (r *RNG) Split(id uint64) *RNG {
 	return NewRNG(a, b)
 }
 
+// SplitN derives n independent generators, one per job of a parallel
+// fan-out. The derivation consumes the parent serially before any job runs,
+// so handing rngs[i] to worker i keeps results bit-identical regardless of
+// worker count or completion order.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split(uint64(i))
+	}
+	return out
+}
+
 // Uint64 returns a uniformly distributed 64-bit value.
 func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
 

@@ -16,6 +16,22 @@ func TestRNGDeterminism(t *testing.T) {
 	}
 }
 
+func TestRNGSplitN(t *testing.T) {
+	a := NewRNG(11, 13).SplitN(4)
+	b := NewRNG(11, 13).SplitN(4)
+	for i := range a {
+		for d := 0; d < 50; d++ {
+			if a[i].Uint64() != b[i].Uint64() {
+				t.Fatalf("SplitN stream %d diverged at draw %d", i, d)
+			}
+		}
+	}
+	c := NewRNG(11, 13).SplitN(2)
+	if c[0].Uint64() == c[1].Uint64() {
+		t.Fatal("adjacent SplitN streams start identically")
+	}
+}
+
 func TestRNGSplitIndependence(t *testing.T) {
 	// Splitting with different ids must give different streams; splitting a
 	// re-seeded parent with the same id must give the same stream.

@@ -1,0 +1,165 @@
+package bankaware
+
+import (
+	"context"
+	"io"
+
+	"bankaware/internal/experiments"
+	"bankaware/internal/montecarlo"
+	"bankaware/internal/runner"
+)
+
+// Execution engine surface. Every evaluation campaign in the library runs
+// through internal/runner, a bounded worker pool with context cancellation,
+// per-job panic recovery and deterministic results (a fixed seed produces
+// bit-identical output for any worker count). The facade exposes it two
+// ways: the Runner type for callers that configure once and run several
+// campaigns, and the RunMonteCarloContext / RunExperimentsContext functions
+// for one-shot calls.
+type (
+	// Progress is one engine notification: which job started, finished or
+	// failed, the counters after it, and the job's wall time.
+	Progress = runner.Progress
+	// ProgressKind distinguishes Progress notifications.
+	ProgressKind = runner.Kind
+	// ProgressFunc consumes Progress notifications; calls are serialised.
+	ProgressFunc = runner.ProgressFunc
+	// PanicError wraps a panic recovered inside a parallel job.
+	PanicError = runner.PanicError
+)
+
+// Progress notification kinds.
+const (
+	// JobStarted fires when a worker picks a job up.
+	JobStarted = runner.JobStarted
+	// JobDone fires when a job completes without error.
+	JobDone = runner.JobDone
+	// JobFailed fires when a job returns an error or panics.
+	JobFailed = runner.JobFailed
+)
+
+// ProgressPrinter returns a ProgressFunc rendering a throttled live
+// progress line ("label: 412/1000 done, 3.2s") to w.
+func ProgressPrinter(w io.Writer, label string) ProgressFunc {
+	return runner.Printer(w, label)
+}
+
+// Detailed-simulation campaign surface (Figs. 8 and 9).
+type (
+	// ExperimentScale selects the machine size for detailed simulations.
+	ExperimentScale = experiments.Scale
+	// SetResult is one Table III set evaluated under the three policies.
+	SetResult = experiments.SetResult
+	// ExperimentsResult aggregates the Figs. 8/9 campaign: per-set results
+	// plus the cross-set geometric means.
+	ExperimentsResult = experiments.Fig8Fig9Result
+)
+
+// Machine scales for RunExperiments.
+const (
+	// ScaleModel is the 1/16-scale machine used by tests and quick runs.
+	ScaleModel = experiments.ScaleModel
+	// ScaleFull is the paper's full Table I machine.
+	ScaleFull = experiments.ScaleFull
+)
+
+// Runner executes the library's evaluation campaigns under one shared
+// execution configuration: a context for cancellation and deadlines, a
+// worker bound, a progress hook and an optional seed override. The zero
+// configuration (NewRunner with no options) runs on all available cores
+// with background context.
+//
+//	r := bankaware.NewRunner(
+//		bankaware.WithContext(ctx),
+//		bankaware.WithWorkers(8),
+//		bankaware.WithProgress(bankaware.ProgressPrinter(os.Stderr, "trials")),
+//	)
+//	res, err := r.RunMonteCarlo(bankaware.DefaultMonteCarloConfig())
+type Runner struct {
+	ctx      context.Context
+	workers  int
+	progress ProgressFunc
+	seed     uint64
+	hasSeed  bool
+}
+
+// RunnerOption configures a Runner (functional options).
+type RunnerOption func(*Runner)
+
+// NewRunner builds a Runner from options.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{ctx: context.Background()}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// WithContext installs the context every campaign run under this Runner
+// uses for cancellation and deadline propagation.
+func WithContext(ctx context.Context) RunnerOption {
+	return func(r *Runner) {
+		if ctx != nil {
+			r.ctx = ctx
+		}
+	}
+}
+
+// WithWorkers bounds the worker pool. Zero or negative (and the default)
+// select GOMAXPROCS. Results do not depend on the worker count.
+func WithWorkers(n int) RunnerOption {
+	return func(r *Runner) { r.workers = n }
+}
+
+// WithProgress installs a hook receiving one Progress notification per job
+// start and completion; see ProgressPrinter for a ready-made CLI consumer.
+func WithProgress(fn ProgressFunc) RunnerOption {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// WithSeed overrides the campaign seed: the Monte Carlo workload draws and
+// the detailed simulations' stream generation both derive from it.
+func WithSeed(seed uint64) RunnerOption {
+	return func(r *Runner) { r.seed, r.hasSeed = seed, true }
+}
+
+// RunMonteCarlo executes the Fig. 7 Monte Carlo campaign on the engine.
+func (r *Runner) RunMonteCarlo(cfg MonteCarloConfig) (*MonteCarloResults, error) {
+	if r.hasSeed {
+		cfg.Seed = r.seed
+	}
+	return montecarlo.RunContext(r.ctx, cfg, montecarlo.Options{
+		Workers:  r.workers,
+		Progress: r.progress,
+	})
+}
+
+// RunExperiments executes the Figs. 8/9 detailed-simulation campaign (8
+// Table III sets x 3 policies, fanned out as 24 independent jobs). An
+// instructions budget of zero selects the scale's default.
+func (r *Runner) RunExperiments(scale ExperimentScale, instructions uint64) (*ExperimentsResult, error) {
+	opt := experiments.Options{Workers: r.workers, Progress: r.progress}
+	if r.hasSeed {
+		opt.Seed = r.seed
+	}
+	return experiments.RunFig8Fig9Context(r.ctx, scale, instructions, opt)
+}
+
+// RunMonteCarloContext is the one-shot form of Runner.RunMonteCarlo.
+func RunMonteCarloContext(ctx context.Context, cfg MonteCarloConfig, opts ...RunnerOption) (*MonteCarloResults, error) {
+	return NewRunner(append([]RunnerOption{WithContext(ctx)}, opts...)...).RunMonteCarlo(cfg)
+}
+
+// RunExperimentsContext is the one-shot form of Runner.RunExperiments.
+func RunExperimentsContext(ctx context.Context, scale ExperimentScale, instructions uint64, opts ...RunnerOption) (*ExperimentsResult, error) {
+	return NewRunner(append([]RunnerOption{WithContext(ctx)}, opts...)...).RunExperiments(scale, instructions)
+}
+
+// RunFig8Fig9 executes the Figs. 8/9 campaign serially with background
+// context.
+//
+// Deprecated: use RunExperimentsContext or Runner.RunExperiments, which add
+// cancellation, parallel execution and progress reporting.
+func RunFig8Fig9(scale ExperimentScale, instructions uint64) (*ExperimentsResult, error) {
+	return experiments.RunFig8Fig9(scale, instructions)
+}
