@@ -29,6 +29,7 @@ package bankaware
 import (
 	"bankaware/internal/cache"
 	"bankaware/internal/core"
+	"bankaware/internal/metrics"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/msa"
 	"bankaware/internal/sim"
@@ -100,6 +101,45 @@ type (
 	MonteCarloConfig = montecarlo.Config
 	// MonteCarloResults holds the sorted trial ratios.
 	MonteCarloResults = montecarlo.Results
+)
+
+// Observability: the metrics registry, the epoch-aligned observation
+// stream, and the versioned machine-readable run report every campaign
+// can emit (schema ReportSchema). See Runner's WithMetrics and
+// WithReportWriter options and System.EnableMetrics.
+type (
+	// MetricsRegistry is a namespace of named counters/gauges/histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricsRecorder bundles a registry with a simulation's epoch samples
+	// and partition events.
+	MetricsRecorder = metrics.Recorder
+	// Report is the versioned machine-readable campaign report.
+	Report = metrics.Report
+	// RunReport is one simulation's totals, epoch series and events.
+	RunReport = metrics.RunReport
+	// EpochSample is one epoch window of the observed time series.
+	EpochSample = metrics.EpochSample
+	// CoreSample is one core's activity within an epoch window.
+	CoreSample = metrics.CoreSample
+	// PartitionEvent records one core's allocation changing at an epoch.
+	PartitionEvent = metrics.PartitionEvent
+)
+
+// ReportSchema is the run-report JSON layout version.
+const ReportSchema = metrics.Schema
+
+// Observability entry points.
+var (
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = metrics.NewRegistry
+	// NewMetricsRecorder returns a recorder with a fresh registry.
+	NewMetricsRecorder = metrics.NewRecorder
+	// ReadReport parses a report written by Report.WriteJSON and checks
+	// its schema version.
+	ReadReport = metrics.ReadReport
+	// DiffReports compares two reports' summaries and run totals,
+	// returning one line per difference.
+	DiffReports = metrics.Diff
 )
 
 // Workload catalogue.

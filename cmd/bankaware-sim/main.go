@@ -8,6 +8,8 @@
 //	bankaware-sim -workloads sixtrack,art,gzip,mcf,crafty,swim,mesa,equake -policy none
 //	bankaware-sim -fig8 -parallel 8 -progress
 //	bankaware-sim -fig8 -timeout 10m
+//	bankaware-sim -fig8 -report fig8.json -pprof localhost:6060
+//	bankaware-sim -set 6 -report run.json
 //	bankaware-sim -table3
 //
 // The -fig8 campaign fans its 24 simulations (8 sets x 3 policies) out on
@@ -24,6 +26,7 @@ import (
 
 	"bankaware/internal/core"
 	"bankaware/internal/experiments"
+	"bankaware/internal/metrics"
 	"bankaware/internal/runner"
 	"bankaware/internal/sim"
 	"bankaware/internal/trace"
@@ -46,6 +49,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker bound (0 = all cores); results do not depend on it")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		progress  = flag.Bool("progress", false, "render a live progress line on stderr")
+		report    = flag.String("report", "", "write the machine-readable JSON run report to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
 	)
 	flag.Parse()
 
@@ -55,9 +60,22 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := experiments.Options{Workers: *parallel}
+	opt := experiments.Options{Workers: *parallel, Observe: *report != ""}
 	if *progress {
 		opt.Progress = runner.Printer(os.Stderr, "sims")
+	}
+	// With -pprof, the debug server exposes the single simulation's live
+	// registry when there is one, or the campaign's engine counters.
+	debugReg := (*metrics.Registry)(nil)
+	if *pprofAddr != "" {
+		debugReg = metrics.NewRegistry()
+		opt.Progress = runner.CountInto(debugReg, opt.Progress)
+		srv, err := metrics.StartDebugServer(*pprofAddr, debugReg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof\n", srv.Addr())
 	}
 
 	if *list {
@@ -80,13 +98,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := sys.RunContext(ctx, budget/2); err != nil {
-			fatal(err)
-		}
-		sys.ResetStats()
-		if err := sys.RunContext(ctx, budget); err != nil {
-			fatal(err)
-		}
+		runSystem(ctx, sys, budget, *report, debugReg, rc.Workloads)
 		fmt.Print(sys.Result(rc.Workloads).String())
 		if *showAlloc {
 			fmt.Println("\nfinal allocation:")
@@ -125,6 +137,12 @@ func main() {
 		fmt.Printf("Relative miss rate and CPI vs No-partitions (Figs. 8 and 9), %.1fs wall:\n",
 			time.Since(start).Seconds())
 		fmt.Print(r.String())
+		if *report != "" {
+			if err := r.Report().WriteFile(*report); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote run report to %s\n", *report)
+		}
 		if *csvPath != "" {
 			f, err := os.Create(*csvPath)
 			if err != nil {
@@ -164,6 +182,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	runSystem(ctx, sys, budget, *report, debugReg, names)
+	fmt.Print(sys.Result(names).String())
+	if *showAlloc {
+		fmt.Println("\nfinal allocation:")
+		fmt.Print(sys.Allocation().String())
+	}
+}
+
+// runSystem executes one simulation under the standard protocol (warm-up,
+// stats reset, measured phase), attaching the observation layer when a
+// report is requested or a debug registry is being served, and writes the
+// single-run report if asked for.
+func runSystem(ctx context.Context, sys *sim.System, budget uint64, reportPath string, debugReg *metrics.Registry, workloads []string) {
+	observe := reportPath != "" || debugReg != nil
+	if observe {
+		var rec *metrics.Recorder
+		if debugReg != nil {
+			rec = &metrics.Recorder{Registry: debugReg}
+		}
+		sys.EnableMetrics(rec)
+	}
 	if err := sys.RunContext(ctx, budget/2); err != nil {
 		fatal(err)
 	}
@@ -171,10 +210,14 @@ func main() {
 	if err := sys.RunContext(ctx, budget); err != nil {
 		fatal(err)
 	}
-	fmt.Print(sys.Result(names).String())
-	if *showAlloc {
-		fmt.Println("\nfinal allocation:")
-		fmt.Print(sys.Allocation().String())
+	if reportPath != "" {
+		rep := metrics.NewReport("simulation")
+		rep.Label = sys.Policy().Name()
+		rep.Runs = append(rep.Runs, sys.RunReport("", workloads))
+		if err := rep.WriteFile(reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote run report to %s\n", reportPath)
 	}
 }
 

@@ -6,6 +6,7 @@
 //	montecarlo -trials 1000
 //	montecarlo -trials 1000 -parallel 8 -progress
 //	montecarlo -trials 1000 -timeout 30s -csv results.csv
+//	montecarlo -trials 1000 -report fig7.json -pprof localhost:6060
 //
 // Trials fan out on the parallel engine; for a fixed seed the results are
 // bit-identical for any -parallel value.
@@ -20,6 +21,7 @@ import (
 	"strconv"
 	"time"
 
+	"bankaware/internal/metrics"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/runner"
 	"bankaware/internal/textplot"
@@ -27,13 +29,15 @@ import (
 
 func main() {
 	var (
-		trials   = flag.Int("trials", 1000, "number of random workload mixes")
-		seed     = flag.Uint64("seed", 2009, "random seed")
-		csvPath  = flag.String("csv", "", "write per-trial rows to this CSV file")
-		chart    = flag.Bool("chart", true, "render the sorted-ratio chart")
-		parallel = flag.Int("parallel", 0, "worker bound (0 = all cores); results do not depend on it")
-		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
-		progress = flag.Bool("progress", false, "render a live progress line on stderr")
+		trials    = flag.Int("trials", 1000, "number of random workload mixes")
+		seed      = flag.Uint64("seed", 2009, "random seed")
+		csvPath   = flag.String("csv", "", "write per-trial rows to this CSV file")
+		chart     = flag.Bool("chart", true, "render the sorted-ratio chart")
+		parallel  = flag.Int("parallel", 0, "worker bound (0 = all cores); results do not depend on it")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		progress  = flag.Bool("progress", false, "render a live progress line on stderr")
+		report    = flag.String("report", "", "write the machine-readable JSON run report to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
 	)
 	flag.Parse()
 
@@ -47,6 +51,16 @@ func main() {
 	if *progress {
 		opt.Progress = runner.Printer(os.Stderr, "trials")
 	}
+	if *pprofAddr != "" {
+		reg := metrics.NewRegistry()
+		opt.Progress = runner.CountInto(reg, opt.Progress)
+		srv, err := metrics.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof\n", srv.Addr())
+	}
 
 	cfg := montecarlo.DefaultConfig()
 	cfg.Trials = *trials
@@ -57,6 +71,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("%s  (%.2fs wall)\n", res.Summary(), time.Since(start).Seconds())
+
+	if *report != "" {
+		if err := res.Report().WriteFile(*report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote run report to %s\n", *report)
+	}
 
 	if *chart {
 		var u, b []float64

@@ -5,6 +5,7 @@
 //	profile -fig2
 //	profile -fig3
 //	profile -fig3 -workloads mcf,facerec,gzip -parallel 4
+//	profile -fig3 -report curves.json
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"bankaware/internal/experiments"
+	"bankaware/internal/metrics"
 	"bankaware/internal/runner"
 	"bankaware/internal/textplot"
 )
@@ -28,10 +30,18 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker bound for -fig3 (0 = all cores); results do not depend on it")
 		timeout   = flag.Duration("timeout", 0, "abort profiling after this duration (0 = none)")
 		progress  = flag.Bool("progress", false, "render a live progress line on stderr")
+		report    = flag.String("report", "", "write the profiled histogram/curves as a JSON report to this file")
 	)
 	flag.Parse()
 	if !*fig2 && !*fig3 {
 		*fig2, *fig3 = true, true
+	}
+
+	var rep *metrics.Report
+	if *report != "" {
+		rep = metrics.NewReport("profile")
+		rep.Label = "msa-profiles"
+		rep.AddSummary("accesses", float64(*accesses))
 	}
 
 	ctx := context.Background()
@@ -59,6 +69,7 @@ func main() {
 		}
 		fmt.Print(textplot.Bars(labels, values, 60))
 		fmt.Println()
+		rep.AddSeries("fig2_histogram", values)
 	}
 
 	if *fig3 {
@@ -74,6 +85,7 @@ func main() {
 		var series []textplot.Series
 		for _, c := range curves {
 			series = append(series, textplot.Series{Name: c.Workload, Points: c.Ratio})
+			rep.AddSeries("fig3."+c.Workload, c.Ratio)
 		}
 		fmt.Print(textplot.Chart(series, 100, 20))
 		fmt.Println("\nselected points (miss ratio at w ways):")
@@ -88,6 +100,13 @@ func main() {
 			fmt.Printf("%-10s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
 				c.Workload, at(4), at(8), at(16), at(32), at(48), at(72))
 		}
+	}
+
+	if rep != nil {
+		if err := rep.WriteFile(*report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote profile report to %s\n", *report)
 	}
 }
 

@@ -6,6 +6,7 @@
 //	sweep -ablation profiler
 //	sweep -ablation epoch -parallel 4 -progress
 //	sweep -ablation cap -timeout 2m
+//	sweep -ablation epoch -report epoch.json -pprof localhost:6060
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"bankaware/internal/cache"
 	"bankaware/internal/experiments"
+	"bankaware/internal/metrics"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/msa"
 	"bankaware/internal/runner"
@@ -32,6 +34,8 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "worker bound (0 = all cores); results do not depend on it")
 		timeout     = flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 		progress    = flag.Bool("progress", false, "render a live progress line on stderr")
+		report      = flag.String("report", "", "write the machine-readable JSON sweep report to this file")
+		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
 	)
 	flag.Parse()
 	if !*aggregation && *ablation == "" {
@@ -48,6 +52,25 @@ func main() {
 	if *progress {
 		opt.Progress = runner.Printer(os.Stderr, "jobs")
 	}
+	if *pprofAddr != "" {
+		reg := metrics.NewRegistry()
+		opt.Progress = runner.CountInto(reg, opt.Progress)
+		srv, err := metrics.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof\n", srv.Addr())
+	}
+
+	var rep *metrics.Report
+	if *report != "" {
+		rep = metrics.NewReport("sweep")
+		rep.Label = "aggregation"
+		if *ablation != "" {
+			rep.Label = "ablation-" + *ablation
+		}
+	}
 
 	if *aggregation {
 		rows, err := experiments.AggregationComparison(*accesses)
@@ -56,27 +79,39 @@ func main() {
 		}
 		fmt.Println("Bank aggregation schemes (Fig. 4):")
 		fmt.Print(experiments.FormatAggregation(rows))
+		for _, r := range rows {
+			rep.AddSummary(fmt.Sprintf("agg.%s.miss_ratio", r.Scheme), r.MissRatio)
+			rep.AddSummary(fmt.Sprintf("agg.%s.migration_rate", r.Scheme), r.MigrationRate)
+			rep.AddSummary(fmt.Sprintf("agg.%s.lookups_per_access", r.Scheme), r.LookupsPerAccess)
+		}
 	}
 
 	switch *ablation {
 	case "":
 	case "profiler":
-		profilerAblation(*accesses)
+		profilerAblation(*accesses, rep)
 	case "epoch":
-		epochAblation(ctx, opt)
+		epochAblation(ctx, opt, rep)
 	case "cap":
-		capAblation(ctx, *parallel, opt.Progress)
+		capAblation(ctx, *parallel, opt.Progress, rep)
 	case "plru":
-		plruAblation(ctx, opt)
+		plruAblation(ctx, opt, rep)
 	case "strict":
-		strictAblation(ctx, opt)
+		strictAblation(ctx, opt, rep)
 	default:
 		fatal(fmt.Errorf("unknown ablation %q (want profiler|epoch|cap|plru|strict)", *ablation))
+	}
+
+	if rep != nil {
+		if err := rep.WriteFile(*report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote sweep report to %s\n", *report)
 	}
 }
 
 // plruAblation compares true LRU banks against tree pseudo-LRU.
-func plruAblation(ctx context.Context, opt experiments.Options) {
+func plruAblation(ctx context.Context, opt experiments.Options, rep *metrics.Report) {
 	fmt.Println("\nReplacement-policy ablation (set 5, bank-aware, rel misses vs No-partitions):")
 	fmt.Printf("%-10s %-12s\n", "policy", "relMisses")
 	for _, v := range []struct {
@@ -90,11 +125,12 @@ func plruAblation(ctx context.Context, opt experiments.Options) {
 			fatal(err)
 		}
 		fmt.Printf("%-10s %-12.3f\n", v.name, r.RelMissBank)
+		rep.AddSummary(fmt.Sprintf("plru.%s.rel_miss_bank", v.name), r.RelMissBank)
 	}
 }
 
 // strictAblation compares lazy vs strict way-ownership enforcement.
-func strictAblation(ctx context.Context, opt experiments.Options) {
+func strictAblation(ctx context.Context, opt experiments.Options, rep *metrics.Report) {
 	fmt.Println("\nEnforcement ablation (set 1, bank-aware, rel misses vs No-partitions):")
 	fmt.Printf("%-10s %-12s\n", "lookup", "relMisses")
 	for _, v := range []struct {
@@ -108,13 +144,14 @@ func strictAblation(ctx context.Context, opt experiments.Options) {
 			fatal(err)
 		}
 		fmt.Printf("%-10s %-12.3f\n", v.name, r.RelMissBank)
+		rep.AddSummary(fmt.Sprintf("strict.%s.rel_miss_bank", v.name), r.RelMissBank)
 	}
 }
 
 // profilerAblation sweeps set sampling and partial tag width against the
 // exact full-tag profile, reporting the worst-case miss-ratio-curve error —
 // the paper's "within 5% with 12-bit tags and 1-in-32 sampling" claim.
-func profilerAblation(accesses int) {
+func profilerAblation(accesses int, rep *metrics.Report) {
 	fmt.Println("\nProfiler accuracy vs hardware budget (worst curve error vs exact):")
 	fmt.Printf("%-12s %-10s %-12s %-12s\n", "sampling", "tag bits", "max error", "kbits/profiler")
 	spec := trace.MustSpec("bzip2")
@@ -139,6 +176,7 @@ func profilerAblation(accesses int) {
 			}
 			fmt.Printf("1-in-%-7d %-10d %-12.4f %-12.1f\n",
 				1<<sampleLog2, tagBits, maxErr, msa.Kbits(msa.ComputeOverhead(oc).TotalBits()))
+			rep.AddSummary(fmt.Sprintf("profiler.s%d.t%d.max_error", 1<<sampleLog2, tagBits), maxErr)
 		}
 	}
 }
@@ -153,7 +191,7 @@ func profileCurve(spec trace.Spec, cfg msa.Config, accesses int) []float64 {
 }
 
 // epochAblation sweeps the repartitioning period on one Table III set.
-func epochAblation(ctx context.Context, opt experiments.Options) {
+func epochAblation(ctx context.Context, opt experiments.Options, rep *metrics.Report) {
 	fmt.Println("\nEpoch-length sweep (set 6, bank-aware, relative misses vs No-partitions):")
 	fmt.Printf("%-14s %-12s %-10s\n", "epoch cycles", "relMisses", "epochs")
 	scale := experiments.ScaleModel
@@ -166,12 +204,14 @@ func epochAblation(ctx context.Context, opt experiments.Options) {
 			fatal(err)
 		}
 		fmt.Printf("%-14d %-12.3f %-10d\n", epoch, r.RelMissBank, r.Bank.Epochs)
+		rep.AddSummary(fmt.Sprintf("epoch.%d.rel_miss_bank", epoch), r.RelMissBank)
+		rep.AddSummary(fmt.Sprintf("epoch.%d.epochs", epoch), float64(r.Bank.Epochs))
 	}
 }
 
 // capAblation sweeps the maximum-assignable-capacity restriction in the
 // Monte Carlo projection.
-func capAblation(ctx context.Context, workers int, progress runner.ProgressFunc) {
+func capAblation(ctx context.Context, workers int, progress runner.ProgressFunc, rep *metrics.Report) {
 	fmt.Println("\nCapacity-cap sweep (Monte Carlo mean relative miss ratio vs equal):")
 	fmt.Printf("%-10s %-14s %-12s\n", "cap ways", "unrestricted", "bank-aware")
 	for _, capWays := range []int{32, 48, 72, 128} {
@@ -186,6 +226,8 @@ func capAblation(ctx context.Context, workers int, progress runner.ProgressFunc)
 		}
 		fmt.Printf("%-10d %-14.3f %-12.3f\n", capWays,
 			res.MeanUnrestrictedRatio, res.MeanBankAwareRatio)
+		rep.AddSummary(fmt.Sprintf("cap.%d.mean_unrestricted_ratio", capWays), res.MeanUnrestrictedRatio)
+		rep.AddSummary(fmt.Sprintf("cap.%d.mean_bankaware_ratio", capWays), res.MeanBankAwareRatio)
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 //	tracer -record gzip.trace.gz -workload gzip -accesses 1000000
 //	tracer -info gzip.trace.gz
-//	tracer -curve gzip.trace.gz
+//	tracer -curve gzip.trace.gz -report curve.json
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"bankaware/internal/metrics"
 	"bankaware/internal/msa"
 	"bankaware/internal/stats"
 	"bankaware/internal/textplot"
@@ -27,8 +28,14 @@ func main() {
 		bpw      = flag.Int("blocksperway", trace.DefaultBlocksPerWay, "blocks per way-equivalent")
 		info     = flag.String("info", "", "print summary statistics of a trace file")
 		curve    = flag.String("curve", "", "profile a trace file and print its miss-ratio curve")
+		report   = flag.String("report", "", "with -info or -curve: also write a JSON report to this file")
 	)
 	flag.Parse()
+
+	var rep *metrics.Report
+	if *report != "" {
+		rep = metrics.NewReport("trace")
+	}
 
 	switch {
 	case *record != "":
@@ -65,6 +72,13 @@ func main() {
 		fmt.Printf("distinct blocks: %d (%.1f KiB footprint)\n", len(seen), float64(len(seen))*64/1024)
 		fmt.Printf("write fraction:  %.3f\n", float64(writes)/n)
 		fmt.Printf("mean gap:        %.2f instructions\n", float64(gaps)/n)
+		if rep != nil {
+			rep.Label = *info
+		}
+		rep.AddSummary("events", n)
+		rep.AddSummary("distinct_blocks", float64(len(seen)))
+		rep.AddSummary("write_fraction", float64(writes)/n)
+		rep.AddSummary("mean_gap", float64(gaps)/n)
 
 	case *curve != "":
 		tr, err := trace.ReadTraceFile(*curve)
@@ -82,10 +96,21 @@ func main() {
 		ratios := p.MissRatioCurve()
 		fmt.Println("projected miss-ratio curve (exact profiler, 72-way cap):")
 		fmt.Print(textplot.Chart([]textplot.Series{{Name: *curve, Points: ratios}}, 90, 16))
+		if rep != nil {
+			rep.Label = *curve
+		}
+		rep.AddSeries("miss_ratio_curve", ratios)
 
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if rep != nil {
+		if err := rep.WriteFile(*report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace report to %s\n", *report)
 	}
 }
 

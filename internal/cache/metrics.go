@@ -1,0 +1,16 @@
+package cache
+
+import "bankaware/internal/metrics"
+
+// RegisterMetrics exposes the bank's counters in reg under prefix (e.g.
+// "l2.bank3"). Values are read lazily at snapshot time from the live Stats,
+// so registration costs nothing on the access path.
+func (b *Bank) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".accesses", func() float64 { return float64(b.stats.Accesses) })
+	reg.RegisterFunc(prefix+".hits", func() float64 { return float64(b.stats.Hits) })
+	reg.RegisterFunc(prefix+".misses", func() float64 { return float64(b.stats.Misses) })
+	reg.RegisterFunc(prefix+".evictions", func() float64 { return float64(b.stats.Evictions) })
+	reg.RegisterFunc(prefix+".writebacks", func() float64 { return float64(b.stats.Writebacks) })
+	reg.RegisterFunc(prefix+".cross_hits", func() float64 { return float64(b.stats.CrossHits) })
+	reg.RegisterFunc(prefix+".valid_lines", func() float64 { return float64(b.ValidLines()) })
+}

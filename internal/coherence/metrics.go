@@ -1,0 +1,20 @@
+package coherence
+
+import "bankaware/internal/metrics"
+
+// ResetStats zeroes the protocol counters. The tracked block states are
+// untouched: coherence state must survive a measurement-window reset just
+// like cache residency does.
+func (d *Directory) ResetStats() { d.stats = Stats{} }
+
+// RegisterMetrics exposes the directory counters in reg under prefix (e.g.
+// "coherence"), evaluated lazily at snapshot time.
+func (d *Directory) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".read_misses", func() float64 { return float64(d.stats.ReadMisses) })
+	reg.RegisterFunc(prefix+".write_misses", func() float64 { return float64(d.stats.WriteMisses) })
+	reg.RegisterFunc(prefix+".upgrades", func() float64 { return float64(d.stats.Upgrades) })
+	reg.RegisterFunc(prefix+".invalidations", func() float64 { return float64(d.stats.Invalidations) })
+	reg.RegisterFunc(prefix+".cache_transfers", func() float64 { return float64(d.stats.CacheTransfers) })
+	reg.RegisterFunc(prefix+".writebacks", func() float64 { return float64(d.stats.Writebacks) })
+	reg.RegisterFunc(prefix+".entries", func() float64 { return float64(len(d.blocks)) })
+}

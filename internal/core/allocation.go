@@ -160,6 +160,60 @@ func (a *Allocation) ValidateBankAware() error {
 	return nil
 }
 
+// AllocationChange describes one core's assignment differing between two
+// allocations: its way total and bank list before and after. Old fields are
+// zero/nil when there was no previous allocation (the initial install).
+type AllocationChange struct {
+	Core     int
+	OldWays  int
+	NewWays  int
+	OldBanks []int
+	NewBanks []int
+}
+
+// DiffFrom compares a against a previous allocation and returns one change
+// per core whose way total or bank set differs, in core order. old may be
+// nil (initial allocation), in which case every core is reported as a
+// change from nothing. Two allocations that merely permute way indices
+// within the same banks are considered equal — the observable partition is
+// per-core capacity and placement, not mask layout.
+func (a *Allocation) DiffFrom(old *Allocation) []AllocationChange {
+	var changes []AllocationChange
+	for c := 0; c < nuca.NumCores; c++ {
+		ch := AllocationChange{Core: c, NewWays: a.Ways[c], NewBanks: a.BanksOf(c)}
+		if old != nil {
+			ch.OldWays = old.Ways[c]
+			ch.OldBanks = old.BanksOf(c)
+			if ch.OldWays == ch.NewWays && equalBanks(ch.OldBanks, ch.NewBanks) && sameWaysPerBank(a, old, c) {
+				continue
+			}
+		}
+		changes = append(changes, ch)
+	}
+	return changes
+}
+
+func equalBanks(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameWaysPerBank(a, old *Allocation, core int) bool {
+	for b := 0; b < nuca.NumBanks; b++ {
+		if a.WaysIn(core, b) != old.WaysIn(core, b) {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders the allocation in the style of Fig. 5: one line per core
 // with its way total and bank list.
 func (a *Allocation) String() string {

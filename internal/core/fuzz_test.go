@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"bankaware/internal/nuca"
+)
+
+// fuzzCurves derives eight non-increasing miss curves from raw fuzz bytes.
+// Any byte string maps to a structurally valid profiler output (monotone
+// non-increasing, non-negative), which is the allocators' input contract —
+// the fuzzers explore curve shapes, not contract violations.
+func fuzzCurves(data []byte) []MissCurve {
+	idx := 0
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[idx%len(data)]
+		idx++
+		return int(b)
+	}
+	curves := make([]MissCurve, nuca.NumCores)
+	for c := range curves {
+		length := 1 + (next()*131+next())%128
+		curve := make(MissCurve, length)
+		level := float64(next()*256 + next())
+		for w := 0; w < length; w++ {
+			curve[w] = level
+			level -= float64(next())
+			if level < 0 {
+				level = 0
+			}
+		}
+		curves[c] = curve
+	}
+	return curves
+}
+
+// FuzzBankAwareAllocator checks the Fig. 6 marginal-utility allocator on
+// arbitrary monotone miss curves: it must never fail or panic, must
+// distribute exactly the machine's 128 ways with single-owner ways and
+// contiguous bank structure (ValidateBankAware), and must respect the
+// per-core floor and cap.
+func FuzzBankAwareAllocator(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 17, 93, 4, 200, 31, 8})
+	f.Add([]byte("a long seed exercising several curve lengths and levels"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		curves := fuzzCurves(data)
+		cfg := DefaultBankAware()
+		alloc, err := BankAware(curves, cfg)
+		if err != nil {
+			t.Fatalf("bank-aware failed on valid curves: %v", err)
+		}
+		if err := alloc.ValidateBankAware(); err != nil {
+			t.Fatalf("invalid allocation: %v", err)
+		}
+		total := 0
+		for c := 0; c < nuca.NumCores; c++ {
+			w := alloc.Ways[c]
+			total += w
+			if w < cfg.MinCoreWays {
+				t.Fatalf("core %d got %d ways, floor is %d", c, w, cfg.MinCoreWays)
+			}
+			if w > cfg.MaxCoreWays {
+				t.Fatalf("core %d got %d ways, cap is %d", c, w, cfg.MaxCoreWays)
+			}
+		}
+		if want := nuca.NumBanks * nuca.WaysPerBank; total != want {
+			t.Fatalf("allocated %d ways, machine has %d", total, want)
+		}
+	})
+}
+
+// FuzzUnrestrictedAllocator checks the idealised UCP-style allocator on
+// arbitrary monotone miss curves: no error or panic, exact capacity, and
+// the configured floor and cap hold per core.
+func FuzzUnrestrictedAllocator(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 7, 7})
+	f.Add([]byte{255, 254, 253, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		curves := fuzzCurves(data)
+		cfg := DefaultUnrestricted()
+		alloc, err := Unrestricted(curves, cfg)
+		if err != nil {
+			t.Fatalf("unrestricted failed on valid curves: %v", err)
+		}
+		total := 0
+		for c, w := range alloc {
+			total += w
+			if w < cfg.MinCoreWays {
+				t.Fatalf("core %d got %d ways, floor is %d", c, w, cfg.MinCoreWays)
+			}
+			if w > cfg.MaxCoreWays {
+				t.Fatalf("core %d got %d ways, cap is %d", c, w, cfg.MaxCoreWays)
+			}
+		}
+		if total != cfg.TotalWays {
+			t.Fatalf("allocated %d ways, want %d", total, cfg.TotalWays)
+		}
+	})
+}

@@ -1,0 +1,15 @@
+package cpu
+
+import "bankaware/internal/metrics"
+
+// RegisterMetrics exposes the core's timing counters in reg under prefix
+// (e.g. "core3"), evaluated lazily at snapshot time.
+func (c *Core) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".instructions", func() float64 { return float64(c.inst) })
+	reg.RegisterFunc(prefix+".cycles", func() float64 { return float64(c.now) })
+	reg.RegisterFunc(prefix+".mem_accesses", func() float64 { return float64(c.stats.MemAccesses) })
+	reg.RegisterFunc(prefix+".fills", func() float64 { return float64(c.stats.Fills) })
+	reg.RegisterFunc(prefix+".mshr_stall", func() float64 { return float64(c.stats.MSHRStall) })
+	reg.RegisterFunc(prefix+".rob_stall", func() float64 { return float64(c.stats.ROBStall) })
+	reg.RegisterFunc(prefix+".branch_stall", func() float64 { return float64(c.stats.BranchStall) })
+}

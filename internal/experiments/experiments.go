@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"bankaware/internal/core"
+	"bankaware/internal/metrics"
 	"bankaware/internal/msa"
 	"bankaware/internal/runner"
 	"bankaware/internal/sim"
@@ -29,6 +30,11 @@ type Options struct {
 	Progress runner.ProgressFunc
 	// Seed, when non-zero, overrides the simulator seed of every run.
 	Seed uint64
+	// Observe attaches the metrics observation layer to every simulation,
+	// populating the campaign results' Reports (epoch time series and
+	// partition events per run). Observation never changes simulated
+	// outcomes, only what gets recorded.
+	Observe bool
 }
 
 func (o Options) apply(cfg sim.Config) sim.Config {
@@ -103,6 +109,10 @@ type SetResult struct {
 	RelCPIEqual, RelCPIBank   float64
 	// System-total miss ratios vs No-partitions.
 	TotalMissEqual, TotalMissBank float64
+
+	// Reports holds one run report per policy (None, Equal, Bank order)
+	// when the campaign ran with Options.Observe.
+	Reports []metrics.RunReport
 }
 
 // setPolicyPrototypes are the three policies every Table III set is
@@ -125,23 +135,39 @@ func resolveSpecs(workloads []string) ([]trace.Spec, error) {
 	return specs, nil
 }
 
+// policyRun bundles one simulation's result with its optional run report.
+type policyRun struct {
+	result   sim.Result
+	report   metrics.RunReport
+	observed bool
+}
+
 // runPolicy executes one full simulation — warm-up, stats reset, measured
-// phase — under its own clone of the policy prototype.
-func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64) (sim.Result, error) {
+// phase — under its own clone of the policy prototype. With observe set it
+// also attaches the metrics layer and exports the run report covering the
+// measurement window.
+func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, observe bool) (policyRun, error) {
 	sys, err := sim.New(cfg, core.ClonePolicy(proto), specs)
 	if err != nil {
-		return sim.Result{}, err
+		return policyRun{}, err
+	}
+	if observe {
+		sys.EnableMetrics(nil)
 	}
 	// Warm-up covers working-set build-up and the first epochs of
 	// dynamic adaptation, like the paper's fast-forward + warm-up.
 	if err := sys.RunContext(ctx, instructions/2); err != nil {
-		return sim.Result{}, err
+		return policyRun{}, err
 	}
 	sys.ResetStats()
 	if err := sys.RunContext(ctx, instructions); err != nil {
-		return sim.Result{}, err
+		return policyRun{}, err
 	}
-	return sys.Result(workloads), nil
+	run := policyRun{result: sys.Result(workloads), observed: observe}
+	if observe {
+		run.report = sys.RunReport("", workloads)
+	}
+	return run, nil
 }
 
 // newSetResult folds the three policy results into the Figs. 8/9 ratios.
@@ -169,14 +195,20 @@ func RunSetContext(ctx context.Context, cfg sim.Config, set int, workloads []str
 		return nil, err
 	}
 	protos := setPolicyPrototypes()
-	results, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
-		len(protos), func(ctx context.Context, job int) (sim.Result, error) {
-			return runPolicy(ctx, cfg, specs, protos[job], workloads, instructions)
+	runs, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+		len(protos), func(ctx context.Context, job int) (policyRun, error) {
+			return runPolicy(ctx, cfg, specs, protos[job], workloads, instructions, opt.Observe)
 		})
 	if err != nil {
 		return nil, err
 	}
-	return newSetResult(set, workloads, results[0], results[1], results[2]), nil
+	r := newSetResult(set, workloads, runs[0].result, runs[1].result, runs[2].result)
+	if opt.Observe {
+		for _, run := range runs {
+			r.Reports = append(r.Reports, run.report)
+		}
+	}
+	return r, nil
 }
 
 // Fig8Fig9 runs all eight Table III sets and returns the per-set results
@@ -186,6 +218,12 @@ type Fig8Fig9Result struct {
 	// GMRelMiss* and GMRelCPI* are the Fig. 8 / Fig. 9 GM bars.
 	GMRelMissEqual, GMRelMissBank float64
 	GMRelCPIEqual, GMRelCPIBank   float64
+}
+
+// HasReports reports whether the campaign ran under Options.Observe (every
+// SetResult then carries its three run reports).
+func (r *Fig8Fig9Result) HasReports() bool {
+	return len(r.Sets) > 0 && len(r.Sets[0].Reports) > 0
 }
 
 // RunFig8Fig9 executes the detailed-simulation experiment on all available
@@ -207,16 +245,16 @@ func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, o
 	const policies = 3
 	protos := setPolicyPrototypes()
 	jobs := len(TableIIISets) * policies
-	results, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
-		jobs, func(ctx context.Context, job int) (sim.Result, error) {
+	runs, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+		jobs, func(ctx context.Context, job int) (policyRun, error) {
 			set, pol := job/policies, job%policies
 			specs, err := resolveSpecs(TableIIISets[set][:])
 			if err != nil {
-				return sim.Result{}, err
+				return policyRun{}, err
 			}
-			r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions)
+			r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, opt.Observe)
 			if err != nil {
-				return sim.Result{}, fmt.Errorf("set %d (%s): %w", set+1, protos[pol].Name(), err)
+				return policyRun{}, fmt.Errorf("set %d (%s): %w", set+1, protos[pol].Name(), err)
 			}
 			return r, nil
 		})
@@ -228,7 +266,12 @@ func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, o
 	var me, mb, ce, cb []float64
 	for i := range TableIIISets {
 		r := newSetResult(i+1, TableIIISets[i][:],
-			results[i*policies], results[i*policies+1], results[i*policies+2])
+			runs[i*policies].result, runs[i*policies+1].result, runs[i*policies+2].result)
+		if opt.Observe {
+			for p := 0; p < policies; p++ {
+				r.Reports = append(r.Reports, runs[i*policies+p].report)
+			}
+		}
 		out.Sets = append(out.Sets, *r)
 		me = append(me, r.RelMissEqual)
 		mb = append(mb, r.RelMissBank)

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"bankaware/internal/metrics"
+)
+
+// TestSetReportIdenticalAcrossWorkerCounts: the observation layer must not
+// break the engine's determinism guarantee — the full report (epoch series,
+// partition events, registry snapshot) serialises to identical bytes
+// whether the three policy runs execute serially or fanned out.
+func TestSetReportIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full set evaluation in -short mode")
+	}
+	cfg := ScaleModel.Config()
+	cfg.EpochCycles = 200_000
+	render := func(workers int) []byte {
+		r, err := RunSetContext(context.Background(), cfg, 1, TableIIISets[0][:], 300_000,
+			Options{Workers: workers, Observe: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Reports) != 3 {
+			t.Fatalf("expected 3 run reports, got %d", len(r.Reports))
+		}
+		var buf bytes.Buffer
+		if err := r.Report().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("set report bytes differ between 1 and 8 workers")
+	}
+	// The observed runs carry the time series the report exists for.
+	rep, err := metrics.ReadReport(bytes.NewReader(serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range rep.Runs {
+		if len(run.EpochSeries) == 0 {
+			t.Fatalf("run %s has no epoch samples", run.Name)
+		}
+		if len(run.PartitionEvents) == 0 {
+			t.Fatalf("run %s has no partition events", run.Name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bankaware/internal/metrics"
+)
+
+// Report exports the set evaluation as a machine-readable report: the
+// Figs. 8/9 ratios in the summary and, when the campaign ran with
+// Options.Observe, the three policy runs with their epoch series and
+// partition events.
+func (r *SetResult) Report() *metrics.Report {
+	rep := metrics.NewReport("set")
+	rep.Label = fmt.Sprintf("table3-set%d", r.Set)
+	rep.AddSummary("rel_miss_equal", r.RelMissEqual)
+	rep.AddSummary("rel_miss_bank", r.RelMissBank)
+	rep.AddSummary("rel_cpi_equal", r.RelCPIEqual)
+	rep.AddSummary("rel_cpi_bank", r.RelCPIBank)
+	rep.AddSummary("total_miss_equal", r.TotalMissEqual)
+	rep.AddSummary("total_miss_bank", r.TotalMissBank)
+	rep.AddSummary("epochs_bank", float64(r.Bank.Epochs))
+	rep.Runs = append(rep.Runs, r.Reports...)
+	return rep
+}
+
+// Report exports the whole Figs. 8/9 campaign: the GM bars and every set's
+// ratios in the summary, the per-set ratio series, and all observed runs
+// (named "set<N>/<policy>").
+func (r *Fig8Fig9Result) Report() *metrics.Report {
+	rep := metrics.NewReport("experiments")
+	rep.Label = fmt.Sprintf("fig8fig9-%dsets", len(r.Sets))
+	rep.AddSummary("gm_rel_miss_equal", r.GMRelMissEqual)
+	rep.AddSummary("gm_rel_miss_bank", r.GMRelMissBank)
+	rep.AddSummary("gm_rel_cpi_equal", r.GMRelCPIEqual)
+	rep.AddSummary("gm_rel_cpi_bank", r.GMRelCPIBank)
+	var missEq, missBk, cpiEq, cpiBk []float64
+	for _, s := range r.Sets {
+		rep.AddSummary(fmt.Sprintf("set%d.rel_miss_bank", s.Set), s.RelMissBank)
+		rep.AddSummary(fmt.Sprintf("set%d.rel_cpi_bank", s.Set), s.RelCPIBank)
+		missEq = append(missEq, s.RelMissEqual)
+		missBk = append(missBk, s.RelMissBank)
+		cpiEq = append(cpiEq, s.RelCPIEqual)
+		cpiBk = append(cpiBk, s.RelCPIBank)
+		for _, run := range s.Reports {
+			run.Name = fmt.Sprintf("set%d/%s", s.Set, run.Policy)
+			rep.Runs = append(rep.Runs, run)
+		}
+	}
+	rep.AddSeries("rel_miss_equal", missEq)
+	rep.AddSeries("rel_miss_bank", missBk)
+	rep.AddSeries("rel_cpi_equal", cpiEq)
+	rep.AddSeries("rel_cpi_bank", cpiBk)
+	return rep
+}

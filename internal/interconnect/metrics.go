@@ -1,0 +1,11 @@
+package interconnect
+
+import "bankaware/internal/metrics"
+
+// RegisterMetrics exposes the network counters in reg under prefix (e.g.
+// "net"), evaluated lazily at snapshot time.
+func (n *Network) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".transfers", func() float64 { return float64(n.stats.Transfers) })
+	reg.RegisterFunc(prefix+".total_hops", func() float64 { return float64(n.stats.TotalHops) })
+	reg.RegisterFunc(prefix+".queue_cycles", func() float64 { return float64(n.stats.QueueCycles) })
+}

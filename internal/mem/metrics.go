@@ -1,0 +1,24 @@
+package mem
+
+import "bankaware/internal/metrics"
+
+// ResetStats zeroes the channel's counters. The service timeline
+// (nextFree) is untouched, so in-flight contention carries across a
+// measurement-window reset exactly like the cache banks' residency does.
+func (c *Channel) ResetStats() { c.stats = Stats{} }
+
+// ResetStats zeroes every channel's counters.
+func (m *Memory) ResetStats() {
+	for _, ch := range m.channels {
+		ch.ResetStats()
+	}
+}
+
+// RegisterMetrics exposes the aggregate DRAM counters in reg under prefix
+// (e.g. "dram"), evaluated lazily at snapshot time.
+func (m *Memory) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".requests", func() float64 { return float64(m.Stats().Requests) })
+	reg.RegisterFunc(prefix+".queue_cycles", func() float64 { return float64(m.Stats().QueueCycles) })
+	reg.RegisterFunc(prefix+".busy_cycles", func() float64 { return float64(m.Stats().BusyCycles) })
+	reg.RegisterFunc(prefix+".channels", func() float64 { return float64(len(m.channels)) })
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the opt-in diagnostics endpoint long-running CLIs expose
+// with -pprof: the standard pprof profile handlers, the process expvars,
+// and a JSON snapshot of a metrics registry at /debug/metrics. It binds a
+// private mux, not http.DefaultServeMux, so importing this package never
+// changes global handler state.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060") and serves
+// diagnostics in a background goroutine. reg may be nil, in which case
+// /debug/metrics serves an empty object. The caller should Close the
+// server on shutdown; serving errors after Close are swallowed.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := map[string]float64{}
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	ds := &DebugServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// Addr returns the bound address (useful when addr requested port 0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the listener and server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

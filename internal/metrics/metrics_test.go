@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("sim.events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := reg.Counter("sim.events"); same != c {
+		t.Fatalf("Counter did not return the existing instance")
+	}
+	g := reg.Gauge("sim.ipc")
+	g.Set(1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("gauge = %g, want 1.25", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("counter after Reset = %d, want 0", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Gauge(\"x\") on a counter name did not panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Fatalf("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatalf("non-increasing bounds accepted")
+	}
+	h, err := NewHistogram([]float64{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{5, 10, 11, 99, 5000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 5125 {
+		t.Fatalf("sum = %g, want 5125", got)
+	}
+	bounds, cum := h.Buckets()
+	wantBounds := []float64{10, 100, 1000}
+	wantCum := []uint64{2, 4, 4} // <=10: {5,10}; <=100: +{11,99}; 5000 overflows
+	if !reflect.DeepEqual(bounds, wantBounds) || !reflect.DeepEqual(cum, wantCum) {
+		t.Fatalf("buckets = %v %v, want %v %v", bounds, cum, wantBounds, wantCum)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset left count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshotFlattensAndSorts(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(3)
+	reg.Gauge("a.value").Set(2)
+	reg.RegisterFunc("c.lazy", func() float64 { return 7 })
+	h := reg.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		"b.count":   3,
+		"a.value":   2,
+		"c.lazy":    7,
+		"lat.le.1":  1,
+		"lat.le.2":  2,
+		"lat.count": 3,
+		"lat.sum":   11,
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+
+	var order []string
+	reg.Each(func(name string, _ float64) { order = append(order, name) })
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("Each order not sorted: %v", order)
+		}
+	}
+}
+
+func TestRegisterFuncReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterFunc("f", func() float64 { return 1 })
+	reg.RegisterFunc("f", func() float64 { return 2 })
+	if got := reg.Snapshot()["f"]; got != 2 {
+		t.Fatalf("replaced func = %g, want 2", got)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("shared").Inc()
+				reg.Gauge(fmt.Sprintf("g%d", i)).Set(float64(j))
+				if j%100 == 0 {
+					reg.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+}
+
+func TestReportRoundTripAndStability(t *testing.T) {
+	rep := NewReport("simulation")
+	rep.Label = "test"
+	rep.AddSummary("miss_ratio", 0.25)
+	rep.AddSeries("curve", []float64{1, 0.5, 0.25})
+	rep.Runs = append(rep.Runs, RunReport{
+		Name:   "BankAware",
+		Policy: "BankAware",
+		Epochs: 2,
+		Cores:  []CoreTotals{{Workload: "mcf", Instructions: 10, Cycles: 20, CPI: 2, IPC: 0.5}},
+		Totals: RunTotals{L2Accesses: 4, L2Misses: 1, MissRatio: 0.25, MeanCPI: 2},
+		EpochSeries: []EpochSample{
+			{Epoch: 1, EndCycle: 10, Cores: []CoreSample{{Instructions: 5, Cycles: 10, IPC: 0.5, Ways: 16}}},
+		},
+		PartitionEvents: []PartitionEvent{
+			{Epoch: 0, Cycle: 0, Policy: "BankAware", Core: 0, NewWays: 16, NewBanks: []int{0, 8}},
+		},
+		Metrics: map[string]float64{"z": 1, "a": 2},
+	})
+
+	var buf1, buf2 bytes.Buffer
+	if err := rep.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("WriteJSON not byte-stable")
+	}
+	if !bytes.HasSuffix(buf1.Bytes(), []byte("\n")) {
+		t.Fatalf("report missing trailing newline")
+	}
+
+	back, err := ReadReport(&buf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, rep)
+	}
+
+	if _, err := ReadReport(strings.NewReader(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatalf("foreign schema accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := NewReport("set")
+	a.AddSummary("speedup", 1.1)
+	a.Runs = []RunReport{{Name: "A", Epochs: 3, Totals: RunTotals{L2Misses: 10}}}
+
+	b := NewReport("set")
+	b.AddSummary("speedup", 1.2)
+	b.AddSummary("extra", 1)
+	b.Runs = []RunReport{{Name: "A", Epochs: 4, Totals: RunTotals{L2Misses: 11}}}
+
+	if d := Diff(a, a); len(d) != 0 {
+		t.Fatalf("self diff = %v, want empty", d)
+	}
+	d := Diff(a, b)
+	if len(d) != 4 {
+		t.Fatalf("diff = %v, want 4 lines (summary x2, totals, epochs)", d)
+	}
+}
+
+func TestRecorderResetSeries(t *testing.T) {
+	rec := NewRecorder()
+	rec.Samples = append(rec.Samples, EpochSample{Epoch: 1})
+	rec.Events = append(rec.Events, PartitionEvent{Core: 1})
+	rec.Registry.Counter("keep").Inc()
+	rec.ResetSeries()
+	if len(rec.Samples) != 0 || len(rec.Events) != 0 {
+		t.Fatalf("ResetSeries left samples=%d events=%d", len(rec.Samples), len(rec.Events))
+	}
+	if got := rec.Registry.Counter("keep").Value(); got != 1 {
+		t.Fatalf("ResetSeries cleared the registry (keep=%d)", got)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(42)
+	ds, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	for _, path := range []string{"/debug/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + ds.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/metrics" && !strings.Contains(string(body), `"hits": 42`) {
+			t.Fatalf("/debug/metrics body missing counter: %s", body)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Schema identifies the run-report JSON layout. Any structural change to
+// the report types below must bump the version suffix; the golden-report
+// test pins the emitted bytes, so accidental drift fails loudly.
+const Schema = "bankaware.run-report/v1"
+
+// Report is the versioned machine-readable artifact every evaluation
+// surface in this repository can emit: simulations, campaign summaries,
+// profiler studies and trace inspections all share this envelope, so runs
+// can be archived and diffed with ordinary JSON tooling. All maps serialise
+// with sorted keys and nothing wall-clock-dependent is recorded, so a fixed
+// seed produces byte-identical reports for any worker count.
+type Report struct {
+	// Schema is the layout version (the Schema constant).
+	Schema string `json:"schema"`
+	// Kind says what produced the report: "simulation", "set",
+	// "montecarlo", "experiments", "sweep", "profile", "overhead",
+	// "trace".
+	Kind string `json:"kind"`
+	// Label is a free-form run identifier (CLI arguments, set name, ...).
+	Label string `json:"label,omitempty"`
+	// Summary holds scalar campaign-level results keyed by metric name.
+	Summary map[string]float64 `json:"summary,omitempty"`
+	// Series holds named numeric series (miss-ratio curves, sorted Monte
+	// Carlo ratios, histograms).
+	Series map[string][]float64 `json:"series,omitempty"`
+	// Runs holds one entry per full-system simulation in the report.
+	Runs []RunReport `json:"runs,omitempty"`
+}
+
+// NewReport returns an empty report of the given kind with the current
+// schema version stamped.
+func NewReport(kind string) *Report {
+	return &Report{Schema: Schema, Kind: kind}
+}
+
+// AddSummary records a scalar, allocating the map on first use. Nil-safe so
+// optional reporting paths need no guards.
+func (r *Report) AddSummary(name string, v float64) {
+	if r == nil {
+		return
+	}
+	if r.Summary == nil {
+		r.Summary = make(map[string]float64)
+	}
+	r.Summary[name] = v
+}
+
+// AddSeries records a named series, copying the values. Nil-safe.
+func (r *Report) AddSeries(name string, values []float64) {
+	if r == nil {
+		return
+	}
+	if r.Series == nil {
+		r.Series = make(map[string][]float64)
+	}
+	r.Series[name] = append([]float64(nil), values...)
+}
+
+// RunReport is one full-system simulation's observable outcome: final
+// per-core and total counters, the epoch-aligned time series, every
+// partition-change event, and a flat snapshot of the metrics registry.
+type RunReport struct {
+	// Name identifies the run within the report (e.g. the policy name).
+	Name string `json:"name"`
+	// Policy is the partitioning policy the run executed under.
+	Policy string `json:"policy"`
+	// Workloads lists the per-core workload names.
+	Workloads []string `json:"workloads,omitempty"`
+	// Epochs counts repartitionings over the whole run (including the
+	// initial allocation).
+	Epochs int `json:"epochs"`
+	// Cores holds the measurement-window totals per core.
+	Cores []CoreTotals `json:"cores"`
+	// Totals aggregates the cores.
+	Totals RunTotals `json:"totals"`
+	// EpochSeries is the measurement window sampled at every epoch
+	// boundary plus one final partial window.
+	EpochSeries []EpochSample `json:"epoch_series,omitempty"`
+	// PartitionEvents records every allocation change the policy made.
+	PartitionEvents []PartitionEvent `json:"partition_events,omitempty"`
+	// Metrics is the registry snapshot at report time.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// CoreTotals is one core's measurement-window aggregate.
+type CoreTotals struct {
+	Workload     string  `json:"workload,omitempty"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       int64   `json:"cycles"`
+	L1Accesses   uint64  `json:"l1_accesses"`
+	L2Accesses   uint64  `json:"l2_accesses"`
+	L2Misses     uint64  `json:"l2_misses"`
+	MissRate     float64 `json:"miss_rate"`
+	CPI          float64 `json:"cpi"`
+	IPC          float64 `json:"ipc"`
+	Ways         int     `json:"ways"`
+}
+
+// RunTotals aggregates a run across cores.
+type RunTotals struct {
+	L2Accesses uint64  `json:"l2_accesses"`
+	L2Misses   uint64  `json:"l2_misses"`
+	MissRatio  float64 `json:"miss_ratio"`
+	MeanCPI    float64 `json:"mean_cpi"`
+}
+
+// EpochSample is one epoch window of the observed time series. Counters
+// are deltas over the window, not cumulative values, so summing a series
+// reproduces the end-of-run totals exactly (there is an invariant test
+// pinning that).
+type EpochSample struct {
+	// Epoch is the 1-based window index within the observation span.
+	Epoch int `json:"epoch"`
+	// EndCycle is the cycle at which the window closed (the repartition
+	// point, or the end of the run for the final partial window).
+	EndCycle int64 `json:"end_cycle"`
+	// Cores holds each core's activity within the window.
+	Cores []CoreSample `json:"cores"`
+	// BankOccupancy is the number of valid lines per L2 bank at the
+	// sample point.
+	BankOccupancy []int `json:"bank_occupancy,omitempty"`
+}
+
+// CoreSample is one core's activity within one epoch window.
+type CoreSample struct {
+	Instructions uint64  `json:"instructions"`
+	Cycles       int64   `json:"cycles"`
+	L2Accesses   uint64  `json:"l2_accesses"`
+	L2Misses     uint64  `json:"l2_misses"`
+	MissRate     float64 `json:"miss_rate"`
+	IPC          float64 `json:"ipc"`
+	// Ways is the core's allocation in effect during the window.
+	Ways int `json:"ways"`
+}
+
+// PartitionEvent records one core's allocation changing at a repartition:
+// which epoch window had just completed, when, under which policy, and the
+// old -> new way and bank assignment. The initial allocation is recorded
+// as events with epoch 0 and no old assignment.
+type PartitionEvent struct {
+	Epoch    int    `json:"epoch"`
+	Cycle    int64  `json:"cycle"`
+	Policy   string `json:"policy"`
+	Core     int    `json:"core"`
+	OldWays  int    `json:"old_ways"`
+	NewWays  int    `json:"new_ways"`
+	OldBanks []int  `json:"old_banks,omitempty"`
+	NewBanks []int  `json:"new_banks,omitempty"`
+}
+
+// Recorder accumulates the observation stream of one simulation: the
+// registry the components registered into, the epoch samples and the
+// partition events. The simulator owns the sampling cadence; Recorder is
+// plain storage.
+type Recorder struct {
+	Registry *Registry
+	Samples  []EpochSample
+	Events   []PartitionEvent
+}
+
+// NewRecorder returns a recorder with a fresh registry.
+func NewRecorder() *Recorder {
+	return &Recorder{Registry: NewRegistry()}
+}
+
+// ResetSeries drops the recorded samples and events (measurement-window
+// alignment after a stats reset); the registry and its metrics survive.
+func (r *Recorder) ResetSeries() {
+	r.Samples = r.Samples[:0]
+	r.Events = r.Events[:0]
+}
+
+// WriteJSON writes the report as stable, indented JSON with a trailing
+// newline. Map keys serialise sorted and no timing-dependent values are
+// included, so identical runs produce identical bytes.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: encoding report: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile writes the report to path via WriteJSON.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report written by WriteJSON and checks its schema
+// version.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("metrics: decoding report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("metrics: report schema %q, this build reads %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Diff compares two reports' summaries and run totals and returns one
+// human-readable line per difference (empty means the reports agree on
+// every compared value). It is the programmatic face of "diff two run
+// reports"; byte-level comparison works too since WriteJSON is stable.
+func Diff(a, b *Report) []string {
+	var out []string
+	if a.Kind != b.Kind {
+		out = append(out, fmt.Sprintf("kind: %s vs %s", a.Kind, b.Kind))
+	}
+	keys := map[string]bool{}
+	for k := range a.Summary {
+		keys[k] = true
+	}
+	for k := range b.Summary {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		av, aok := a.Summary[k]
+		bv, bok := b.Summary[k]
+		switch {
+		case !aok:
+			out = append(out, fmt.Sprintf("summary %s: only in b (%g)", k, bv))
+		case !bok:
+			out = append(out, fmt.Sprintf("summary %s: only in a (%g)", k, av))
+		case av != bv:
+			out = append(out, fmt.Sprintf("summary %s: %g vs %g", k, av, bv))
+		}
+	}
+	n := len(a.Runs)
+	if len(b.Runs) != n {
+		out = append(out, fmt.Sprintf("runs: %d vs %d", len(a.Runs), len(b.Runs)))
+		if len(b.Runs) < n {
+			n = len(b.Runs)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ar, br := a.Runs[i], b.Runs[i]
+		if ar.Name != br.Name {
+			out = append(out, fmt.Sprintf("run %d: name %s vs %s", i, ar.Name, br.Name))
+			continue
+		}
+		if ar.Totals != br.Totals {
+			out = append(out, fmt.Sprintf("run %s: totals %+v vs %+v", ar.Name, ar.Totals, br.Totals))
+		}
+		if ar.Epochs != br.Epochs {
+			out = append(out, fmt.Sprintf("run %s: epochs %d vs %d", ar.Name, ar.Epochs, br.Epochs))
+		}
+		if len(ar.PartitionEvents) != len(br.PartitionEvents) {
+			out = append(out, fmt.Sprintf("run %s: %d vs %d partition events",
+				ar.Name, len(ar.PartitionEvents), len(br.PartitionEvents)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package montecarlo
+
+import (
+	"fmt"
+
+	"bankaware/internal/metrics"
+)
+
+// Report exports the Fig. 7 campaign as a machine-readable report: the
+// headline mean ratios in the summary and the full sorted ratio curves
+// (the figure's two lines) as series.
+func (r *Results) Report() *metrics.Report {
+	rep := metrics.NewReport("montecarlo")
+	rep.Label = fmt.Sprintf("fig7-%dtrials", len(r.Trials))
+	rep.AddSummary("trials", float64(len(r.Trials)))
+	rep.AddSummary("mean_unrestricted_ratio", r.MeanUnrestrictedRatio)
+	rep.AddSummary("mean_bankaware_ratio", r.MeanBankAwareRatio)
+	un := make([]float64, len(r.Trials))
+	ba := make([]float64, len(r.Trials))
+	for i, t := range r.Trials {
+		un[i] = t.UnrestrictedRatio
+		ba[i] = t.BankAwareRatio
+	}
+	rep.AddSeries("unrestricted_ratio_sorted", un)
+	rep.AddSeries("bankaware_ratio_sorted", ba)
+	return rep
+}

@@ -1,0 +1,10 @@
+package msa
+
+import "bankaware/internal/metrics"
+
+// RegisterMetrics exposes the profiler's activity in reg under prefix (e.g.
+// "msa.core3"), evaluated lazily at snapshot time.
+func (p *Profiler) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".accesses", func() float64 { return float64(p.accesses) })
+	reg.RegisterFunc(prefix+".sampled_accesses", func() float64 { return float64(p.sampled) })
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"bankaware/internal/metrics"
 )
 
 // Kind distinguishes the progress notifications.
@@ -88,6 +90,29 @@ func (t *tracker) done(job int, elapsed time.Duration) {
 func (t *tracker) failed(job int, elapsed time.Duration, err error) {
 	t.fail++
 	t.emit(JobFailed, job, elapsed, err)
+}
+
+// CountInto returns a ProgressFunc that counts engine activity into reg
+// ("runner.jobs_started/done/failed") and then forwards to next (which may
+// be nil). The registry can be read concurrently — e.g. served by
+// metrics.StartDebugServer — while the campaign runs.
+func CountInto(reg *metrics.Registry, next ProgressFunc) ProgressFunc {
+	started := reg.Counter("runner.jobs_started")
+	done := reg.Counter("runner.jobs_done")
+	failed := reg.Counter("runner.jobs_failed")
+	return func(p Progress) {
+		switch p.Kind {
+		case JobStarted:
+			started.Inc()
+		case JobDone:
+			done.Inc()
+		case JobFailed:
+			failed.Inc()
+		}
+		if next != nil {
+			next(p)
+		}
+	}
 }
 
 // Printer returns a ProgressFunc that renders a throttled single-line

@@ -62,6 +62,36 @@ func TestInvariantBankStatsMatchSystemCounts(t *testing.T) {
 	}
 }
 
+func TestResetStatsClearsSharedResourceCounters(t *testing.T) {
+	// Regression: ResetStats used to reset only core-side and bank counters,
+	// so DRAMStats and DirectoryStats silently reported warm-up traffic on
+	// top of the measurement window. Every shared-resource counter must
+	// reset together.
+	sys := runSystem(t, core.EqualPolicy{}, mixedSet, 300_000, nil)
+	if sys.DRAMStats().Requests == 0 {
+		t.Fatal("warm-up produced no DRAM requests")
+	}
+	ds := sys.DirectoryStats()
+	if ds.ReadMisses == 0 {
+		t.Fatal("warm-up produced no directory read misses")
+	}
+	sys.ResetStats()
+	if r := sys.DRAMStats().Requests; r != 0 {
+		t.Fatalf("DRAM requests %d after ResetStats, want 0", r)
+	}
+	after := sys.DirectoryStats()
+	if after.ReadMisses != 0 || after.WriteMisses != 0 || after.Invalidations != 0 {
+		t.Fatalf("directory counters %+v after ResetStats, want zero", after)
+	}
+	// The measurement window then accumulates fresh counts from zero.
+	if err := sys.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.DRAMStats().Requests == 0 {
+		t.Fatal("measured window recorded no DRAM requests")
+	}
+}
+
 func TestInvariantPartitionOccupancyBounds(t *testing.T) {
 	// Under a static partitioned policy, no core's L2 occupancy may exceed
 	// its allocation (ways x sets), in any bank.

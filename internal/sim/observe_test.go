@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+
+	"bankaware/internal/core"
+	"bankaware/internal/metrics"
+	"bankaware/internal/nuca"
+)
+
+// observedSystem builds a system with the observation layer attached and
+// runs the standard protocol: warm-up, stats reset, measured phase.
+func observedSystem(t *testing.T, policy core.Policy, instr uint64, mutate func(*Config)) *System {
+	t.Helper()
+	cfg := testConfig()
+	cfg.EpochCycles = 200_000 // several epochs within a short test run
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys, err := New(cfg, policy, specsFor(mixedSet...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableMetrics(nil)
+	if err := sys.Run(instr / 2); err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetStats()
+	if err := sys.Run(instr); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestInvariantEpochMissesSumToTotals: the epoch time series is a complete
+// decomposition of the measurement window — per core, the sample deltas
+// must add up exactly to the run totals (accesses, misses, instructions).
+func TestInvariantEpochMissesSumToTotals(t *testing.T) {
+	sys := observedSystem(t, core.NewBankAwarePolicy(), 400_000, nil)
+	rr := sys.RunReport("", mixedSet)
+	if len(rr.EpochSeries) < 2 {
+		t.Fatalf("expected several epoch samples, got %d", len(rr.EpochSeries))
+	}
+	var sumMiss, sumAcc, sumInstr [nuca.NumCores]uint64
+	for _, s := range rr.EpochSeries {
+		for c, cs := range s.Cores {
+			sumMiss[c] += cs.L2Misses
+			sumAcc[c] += cs.L2Accesses
+			sumInstr[c] += cs.Instructions
+		}
+	}
+	var totalMiss uint64
+	for c := 0; c < nuca.NumCores; c++ {
+		ct := rr.Cores[c]
+		if sumMiss[c] != ct.L2Misses {
+			t.Errorf("core %d: epoch misses sum %d, total %d", c, sumMiss[c], ct.L2Misses)
+		}
+		if sumAcc[c] != ct.L2Accesses {
+			t.Errorf("core %d: epoch accesses sum %d, total %d", c, sumAcc[c], ct.L2Accesses)
+		}
+		if sumInstr[c] != ct.Instructions {
+			t.Errorf("core %d: epoch instructions sum %d, total %d", c, sumInstr[c], ct.Instructions)
+		}
+		totalMiss += sumMiss[c]
+	}
+	if totalMiss != rr.Totals.L2Misses {
+		t.Errorf("epoch misses sum %d, run total %d", totalMiss, rr.Totals.L2Misses)
+	}
+}
+
+// TestRunReportFlushIdempotent: RunReport flushes the final partial window;
+// exporting twice must not grow the series or change the totals.
+func TestRunReportFlushIdempotent(t *testing.T) {
+	sys := observedSystem(t, core.EqualPolicy{}, 200_000, nil)
+	a := sys.RunReport("", mixedSet)
+	b := sys.RunReport("", mixedSet)
+	if len(a.EpochSeries) != len(b.EpochSeries) {
+		t.Fatalf("series grew on re-export: %d then %d", len(a.EpochSeries), len(b.EpochSeries))
+	}
+	if a.Totals != b.Totals {
+		t.Fatalf("totals changed on re-export: %+v vs %+v", a.Totals, b.Totals)
+	}
+}
+
+// TestPartitionEventsRecorded: under the dynamic policy the event log must
+// hold the measurement window's initial allocation (epoch 0, all cores,
+// no old assignment) and, with small epochs, at least one repartitioning.
+func TestPartitionEventsRecorded(t *testing.T) {
+	sys := observedSystem(t, core.NewBankAwarePolicy(), 400_000, nil)
+	rr := sys.RunReport("", mixedSet)
+	initial := 0
+	changes := 0
+	for _, ev := range rr.PartitionEvents {
+		if ev.Policy != "Bank-aware" {
+			t.Fatalf("event policy %q", ev.Policy)
+		}
+		if ev.Epoch == 0 {
+			initial++
+			if ev.OldBanks != nil {
+				t.Fatalf("initial event for core %d carries an old assignment", ev.Core)
+			}
+		} else {
+			changes++
+		}
+	}
+	if initial != nuca.NumCores {
+		t.Fatalf("expected %d initial-allocation events, got %d", nuca.NumCores, initial)
+	}
+	if changes == 0 {
+		t.Fatal("no partition-change events recorded under the dynamic policy")
+	}
+	if got := sys.Observed().Registry.Snapshot()["sim.epochs"]; got < 1 {
+		t.Fatalf("sim.epochs gauge %v, want >= 1", got)
+	}
+}
+
+// TestObservationDoesNotChangeOutcomes: attaching the metrics layer must
+// not perturb the simulation (same seed, same results with and without).
+func TestObservationDoesNotChangeOutcomes(t *testing.T) {
+	run := func(observe bool) Result {
+		cfg := testConfig()
+		cfg.EpochCycles = 200_000
+		sys, err := New(cfg, core.NewBankAwarePolicy(), specsFor(mixedSet...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observe {
+			sys.EnableMetrics(nil)
+		}
+		if err := sys.Run(150_000); err != nil {
+			t.Fatal(err)
+		}
+		sys.ResetStats()
+		if err := sys.Run(300_000); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Result(mixedSet)
+	}
+	plain, observed := run(false), run(true)
+	if plain.TotalL2Misses != observed.TotalL2Misses || plain.MeanCPI != observed.MeanCPI {
+		t.Fatalf("observation changed outcomes: %d/%.6f vs %d/%.6f",
+			plain.TotalL2Misses, plain.MeanCPI, observed.TotalL2Misses, observed.MeanCPI)
+	}
+}
+
+// TestEnableMetricsSharedRegistry: a caller-supplied recorder (e.g. one
+// serving a debug endpoint) is used as-is and sees the system's gauges.
+func TestEnableMetricsSharedRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := testConfig()
+	sys, err := New(cfg, core.EqualPolicy{}, specsFor(mixedSet...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sys.EnableMetrics(&metrics.Recorder{Registry: reg})
+	if rec.Registry != reg {
+		t.Fatal("EnableMetrics replaced the supplied registry")
+	}
+	if err := sys.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["dram.requests"] == 0 {
+		t.Fatal("dram.requests gauge not visible through the shared registry")
+	}
+	if snap["cpu.core0.instructions"] == 0 {
+		t.Fatal("cpu.core0.instructions gauge not visible")
+	}
+}

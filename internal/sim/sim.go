@@ -23,6 +23,7 @@ import (
 	"bankaware/internal/cpu"
 	"bankaware/internal/interconnect"
 	"bankaware/internal/mem"
+	"bankaware/internal/metrics"
 	"bankaware/internal/msa"
 	"bankaware/internal/nuca"
 	"bankaware/internal/stats"
@@ -169,6 +170,17 @@ type System struct {
 	// activity is excluded from reported results.
 	baseInstr  [nuca.NumCores]uint64
 	baseCycles [nuca.NumCores]int64
+
+	// Observation layer (nil unless EnableMetrics was called): the
+	// recorder collecting epoch samples and partition events, the
+	// miss-latency histogram, and per-core baselines marking where the
+	// current epoch window started.
+	rec         *metrics.Recorder
+	missLat     *metrics.Histogram
+	winInstr    [nuca.NumCores]uint64
+	winCycles   [nuca.NumCores]int64
+	winL2Access [nuca.NumCores]uint64
+	winL2Miss   [nuca.NumCores]uint64
 }
 
 // New builds a system running the given workload specs (one per core) under
@@ -241,7 +253,7 @@ func NewWithStreams(cfg Config, policy core.Policy, streams []trace.Stream) (*Sy
 	}
 	s.nextEpoch = cfg.EpochCycles
 	s.nextCheck = cfg.EpochCycles / 4
-	if err := s.repartition(); err != nil {
+	if err := s.repartition(0); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -272,8 +284,11 @@ func (s *System) NetworkStats() interconnect.Stats { return s.net.Stats() }
 func (s *System) DRAMStats() mem.Stats { return s.dram.Stats() }
 
 // repartition runs the policy on the profilers' current curves and installs
-// the resulting way masks.
-func (s *System) repartition() error {
+// the resulting way masks. now is the cycle at which the boundary fired
+// (zero for the initial allocation); the observation layer samples the
+// closing epoch window and records the allocation diff before the new
+// masks take effect.
+func (s *System) repartition(now int64) error {
 	curves := make([]core.MissCurve, nuca.NumCores)
 	for c := range curves {
 		curves[c] = core.MissCurve(s.profs[c].MissCurve())
@@ -287,6 +302,12 @@ func (s *System) repartition() error {
 	}
 	if err := alloc.Validate(); err != nil {
 		return fmt.Errorf("sim: %s produced invalid allocation: %w", s.policy.Name(), err)
+	}
+	if s.rec != nil && s.alloc != nil {
+		// Close the epoch window under the outgoing allocation, then log
+		// what the policy changed.
+		s.sampleWindow(now)
+		s.recordAllocEvents(alloc, s.alloc, len(s.rec.Samples), now)
 	}
 	s.alloc = alloc
 	for b := range s.banks {
@@ -522,6 +543,9 @@ func (s *System) l2Access(c int, addr trace.Addr, write bool, issueAt int64) int
 	s.epochMissCycles[c] += done - issueAt
 	s.epochMisses[c]++
 	s.quarterMisses[c]++
+	if s.missLat != nil {
+		s.missLat.Observe(float64(done - issueAt))
+	}
 	return done
 }
 
@@ -569,14 +593,14 @@ func (s *System) RunContext(ctx context.Context, instructions uint64) error {
 		}
 		switch {
 		case now >= s.nextEpoch:
-			if err := s.repartition(); err != nil {
+			if err := s.repartition(now); err != nil {
 				return err
 			}
 			s.nextEpoch = now + s.cfg.EpochCycles
 			s.nextCheck = now + s.cfg.EpochCycles/4
 		case s.cfg.AdaptiveEpochs && now >= s.nextCheck:
 			if s.phaseShifted() {
-				if err := s.repartition(); err != nil {
+				if err := s.repartition(now); err != nil {
 					return err
 				}
 				s.nextEpoch = now + s.cfg.EpochCycles
@@ -605,7 +629,12 @@ func (s *System) phaseShifted() bool {
 }
 
 // ResetStats zeroes the measurement counters after warm-up, keeping all
-// cache, profiler and timing state.
+// cache, profiler and timing state. Every shared-resource counter resets
+// together — DRAM channels and the MOESI directory included — so
+// DRAMStats/DirectoryStats report the measurement window only, consistent
+// with Result. The observation layer realigns with the window: recorded
+// samples and events are dropped and the current allocation is re-logged
+// as the window's initial state.
 func (s *System) ResetStats() {
 	for c := 0; c < nuca.NumCores; c++ {
 		s.l1Hits[c], s.l1Misses[c] = 0, 0
@@ -617,4 +646,14 @@ func (s *System) ResetStats() {
 		s.banks[b].ResetStats()
 	}
 	s.net.ResetStats()
+	s.dram.ResetStats()
+	s.dir.ResetStats()
+	if s.rec != nil {
+		s.rec.ResetSeries()
+		if s.missLat != nil {
+			s.missLat.Reset()
+		}
+		s.seedWindowBaselines()
+		s.recordAllocEvents(s.alloc, nil, 0, s.maxNow())
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"bankaware/internal/experiments"
+	"bankaware/internal/metrics"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/runner"
 )
@@ -55,6 +56,11 @@ type (
 	ExperimentsResult = experiments.Fig8Fig9Result
 )
 
+// TableIIISets are the paper's eight detailed-simulation workload mixes
+// (Table III), core 0 through core 7 — the sets RunSet and RunExperiments
+// evaluate.
+var TableIIISets = experiments.TableIIISets
+
 // Machine scales for RunExperiments.
 const (
 	// ScaleModel is the 1/16-scale machine used by tests and quick runs.
@@ -81,6 +87,8 @@ type Runner struct {
 	progress ProgressFunc
 	seed     uint64
 	hasSeed  bool
+	metrics  *metrics.Registry
+	reportW  io.Writer
 }
 
 // RunnerOption configures a Runner (functional options).
@@ -123,26 +131,101 @@ func WithSeed(seed uint64) RunnerOption {
 	return func(r *Runner) { r.seed, r.hasSeed = seed, true }
 }
 
+// WithMetrics attaches a metrics registry to the Runner: engine activity
+// is counted into it ("runner.jobs_started/done/failed"), and every
+// simulation campaign runs with the observation layer enabled so its
+// results carry per-run epoch time series and partition events. The
+// registry is safe to read concurrently (e.g. from a debug HTTP server)
+// while campaigns run.
+func WithMetrics(reg *metrics.Registry) RunnerOption {
+	return func(r *Runner) { r.metrics = reg }
+}
+
+// WithReportWriter makes the Runner write each campaign's versioned JSON
+// run report to w after the campaign completes. Reports are byte-stable
+// for a fixed seed regardless of the worker count. Writing to a file is
+// the caller's concern; the CLIs' -report flag is a thin wrapper.
+func WithReportWriter(w io.Writer) RunnerOption {
+	return func(r *Runner) { r.reportW = w }
+}
+
+// observe reports whether campaigns should attach the observation layer.
+func (r *Runner) observe() bool { return r.metrics != nil || r.reportW != nil }
+
+// progressFunc returns the progress hook, chained with engine counters
+// when a metrics registry is attached.
+func (r *Runner) progressFunc() ProgressFunc {
+	if r.metrics == nil {
+		return r.progress
+	}
+	return runner.CountInto(r.metrics, r.progress)
+}
+
+// emitReport writes rep to the configured report writer, if any.
+func (r *Runner) emitReport(rep *metrics.Report) error {
+	if r.reportW == nil {
+		return nil
+	}
+	return rep.WriteJSON(r.reportW)
+}
+
 // RunMonteCarlo executes the Fig. 7 Monte Carlo campaign on the engine.
 func (r *Runner) RunMonteCarlo(cfg MonteCarloConfig) (*MonteCarloResults, error) {
 	if r.hasSeed {
 		cfg.Seed = r.seed
 	}
-	return montecarlo.RunContext(r.ctx, cfg, montecarlo.Options{
+	res, err := montecarlo.RunContext(r.ctx, cfg, montecarlo.Options{
 		Workers:  r.workers,
-		Progress: r.progress,
+		Progress: r.progressFunc(),
 	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.emitReport(res.Report()); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // RunExperiments executes the Figs. 8/9 detailed-simulation campaign (8
 // Table III sets x 3 policies, fanned out as 24 independent jobs). An
 // instructions budget of zero selects the scale's default.
 func (r *Runner) RunExperiments(scale ExperimentScale, instructions uint64) (*ExperimentsResult, error) {
-	opt := experiments.Options{Workers: r.workers, Progress: r.progress}
+	opt := experiments.Options{Workers: r.workers, Progress: r.progressFunc(), Observe: r.observe()}
 	if r.hasSeed {
 		opt.Seed = r.seed
 	}
-	return experiments.RunFig8Fig9Context(r.ctx, scale, instructions, opt)
+	res, err := experiments.RunFig8Fig9Context(r.ctx, scale, instructions, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.emitReport(res.Report()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunSet simulates one Table III workload set under the three policies
+// with the Runner's execution configuration. cfg is the simulator
+// configuration (typically an ExperimentScale's Config, possibly with a
+// shortened epoch), set is a 1-based label for the report, and an
+// instructions budget of zero selects the model scale's default.
+func (r *Runner) RunSet(cfg SimConfig, set int, workloads []string, instructions uint64) (*SetResult, error) {
+	opt := experiments.Options{Workers: r.workers, Progress: r.progressFunc(), Observe: r.observe()}
+	if r.hasSeed {
+		opt.Seed = r.seed
+	}
+	if instructions == 0 {
+		instructions = ScaleModel.DefaultInstructions()
+	}
+	res, err := experiments.RunSetContext(r.ctx, cfg, set, workloads, instructions, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.emitReport(res.Report()); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // RunMonteCarloContext is the one-shot form of Runner.RunMonteCarlo.
