@@ -29,9 +29,11 @@ package bankaware
 import (
 	"bankaware/internal/cache"
 	"bankaware/internal/core"
+	"bankaware/internal/faults"
 	"bankaware/internal/metrics"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/msa"
+	"bankaware/internal/nuca"
 	"bankaware/internal/sim"
 	"bankaware/internal/stats"
 	"bankaware/internal/trace"
@@ -127,6 +129,48 @@ type (
 
 // ReportSchema is the run-report JSON layout version.
 const ReportSchema = metrics.Schema
+
+// Fault injection: deterministic, seed-driven fault plans degrade a run at
+// scheduled epochs — L2 banks fail (contents lost, capacity re-partitioned
+// around them) or slow down, miss-curve profiling turns noisy or stale, and
+// DRAM latency spikes. See Runner's WithFaultPlan option, SimConfig.Faults,
+// and DESIGN.md's fault-model section.
+type (
+	// FaultPlan is a deterministic schedule of fault events.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faults.Event
+	// FaultKind distinguishes fault event types.
+	FaultKind = faults.Kind
+	// FaultGenSpec parametrises random plan generation.
+	FaultGenSpec = faults.GenSpec
+	// BankSet is a bitmask over the 16 L2 banks.
+	BankSet = nuca.BankSet
+)
+
+// Fault kinds.
+const (
+	// FaultBankFail marks an L2 bank failed (contents lost, capacity gone).
+	FaultBankFail = faults.BankFail
+	// FaultBankSlow adds access latency to one bank.
+	FaultBankSlow = faults.BankSlow
+	// FaultCurveNoise perturbs the miss curves the policies see.
+	FaultCurveNoise = faults.CurveNoise
+	// FaultCurveStale freezes profiler curves at the previous epoch's view.
+	FaultCurveStale = faults.CurveStale
+	// FaultDRAMSpike adds latency to every DRAM access.
+	FaultDRAMSpike = faults.DRAMSpike
+)
+
+// Fault-plan entry points.
+var (
+	// LoadFaultPlan reads and validates a JSON fault plan from a file.
+	LoadFaultPlan = faults.Load
+	// ParseFaultPlan reads and validates a JSON fault plan from bytes.
+	ParseFaultPlan = faults.Parse
+	// GenerateFaultPlan draws a random plan from a spec and seeded RNG.
+	GenerateFaultPlan = faults.Generate
+)
 
 // Observability entry points.
 var (

@@ -10,6 +10,7 @@
 //	bankaware-sim -fig8 -timeout 10m
 //	bankaware-sim -fig8 -report fig8.json -pprof localhost:6060
 //	bankaware-sim -set 6 -report run.json
+//	bankaware-sim -set 6 -faults configs/faults-example.json
 //	bankaware-sim -table3
 //
 // The -fig8 campaign fans its 24 simulations (8 sets x 3 policies) out on
@@ -26,6 +27,7 @@ import (
 
 	"bankaware/internal/core"
 	"bankaware/internal/experiments"
+	"bankaware/internal/faults"
 	"bankaware/internal/metrics"
 	"bankaware/internal/runner"
 	"bankaware/internal/sim"
@@ -51,6 +53,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "render a live progress line on stderr")
 		report    = flag.String("report", "", "write the machine-readable JSON run report to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
+		faultPath = flag.String("faults", "", "inject this JSON fault plan at repartition boundaries")
 	)
 	flag.Parse()
 
@@ -61,6 +64,16 @@ func main() {
 		defer cancel()
 	}
 	opt := experiments.Options{Workers: *parallel, Observe: *report != ""}
+	var plan *faults.Plan
+	if *faultPath != "" {
+		p, err := faults.Load(*faultPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, p)
+		plan = p
+		opt.Faults = plan
+	}
 	if *progress {
 		opt.Progress = runner.Printer(os.Stderr, "sims")
 	}
@@ -93,6 +106,9 @@ func main() {
 		cfg, p, specs, budget, err := rc.Build()
 		if err != nil {
 			fatal(err)
+		}
+		if plan != nil {
+			cfg.Faults = plan
 		}
 		sys, err := sim.New(cfg, p, specs)
 		if err != nil {
@@ -178,7 +194,11 @@ func main() {
 		}
 		specs[i] = s
 	}
-	sys, err := sim.New(scale.Config(), p, specs)
+	simCfg := scale.Config()
+	if plan != nil {
+		simCfg.Faults = plan
+	}
+	sys, err := sim.New(simCfg, p, specs)
 	if err != nil {
 		fatal(err)
 	}

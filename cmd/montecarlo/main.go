@@ -7,9 +7,13 @@
 //	montecarlo -trials 1000 -parallel 8 -progress
 //	montecarlo -trials 1000 -timeout 30s -csv results.csv
 //	montecarlo -trials 1000 -report fig7.json -pprof localhost:6060
+//	montecarlo -trials 1000 -faults configs/faults-example.json
+//	montecarlo -trials 100000 -resume fig7.journal -report fig7.json
 //
 // Trials fan out on the parallel engine; for a fixed seed the results are
-// bit-identical for any -parallel value.
+// bit-identical for any -parallel value. With -resume, completed trials are
+// journaled to the given file and a killed campaign picks up where it
+// stopped, emitting the same report bytes as an uninterrupted run.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strconv"
 	"time"
 
+	"bankaware/internal/faults"
 	"bankaware/internal/metrics"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/runner"
@@ -38,6 +43,9 @@ func main() {
 		progress  = flag.Bool("progress", false, "render a live progress line on stderr")
 		report    = flag.String("report", "", "write the machine-readable JSON run report to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
+		faultPath = flag.String("faults", "", "degrade every trial with this JSON fault plan's epoch-0 state")
+		resume    = flag.String("resume", "", "journal completed trials to this file and resume from it on restart")
+		retries   = flag.Int("retries", 0, "extra attempts a failed trial gets before the campaign fails")
 	)
 	flag.Parse()
 
@@ -47,9 +55,28 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := montecarlo.Options{Workers: *parallel}
+	opt := montecarlo.Options{Workers: *parallel, Retries: *retries, RetryBackoff: 100 * time.Millisecond}
 	if *progress {
 		opt.Progress = runner.Printer(os.Stderr, "trials")
+	}
+	if *faultPath != "" {
+		plan, err := faults.Load(*faultPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, plan)
+		opt.Faults = plan
+	}
+	if *resume != "" {
+		j, err := runner.OpenJournal(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		if n := j.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d trials already journaled in %s\n", n, *resume)
+		}
+		opt.Journal = j
 	}
 	if *pprofAddr != "" {
 		reg := metrics.NewRegistry()

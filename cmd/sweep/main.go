@@ -18,6 +18,7 @@ import (
 
 	"bankaware/internal/cache"
 	"bankaware/internal/experiments"
+	"bankaware/internal/faults"
 	"bankaware/internal/metrics"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/msa"
@@ -36,6 +37,7 @@ func main() {
 		progress    = flag.Bool("progress", false, "render a live progress line on stderr")
 		report      = flag.String("report", "", "write the machine-readable JSON sweep report to this file")
 		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
+		faultPath   = flag.String("faults", "", "inject this JSON fault plan into the simulation-backed sweeps")
 	)
 	flag.Parse()
 	if !*aggregation && *ablation == "" {
@@ -49,6 +51,14 @@ func main() {
 		defer cancel()
 	}
 	opt := experiments.Options{Workers: *parallel}
+	if *faultPath != "" {
+		plan, err := faults.Load(*faultPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, plan)
+		opt.Faults = plan
+	}
 	if *progress {
 		opt.Progress = runner.Printer(os.Stderr, "jobs")
 	}
@@ -93,7 +103,7 @@ func main() {
 	case "epoch":
 		epochAblation(ctx, opt, rep)
 	case "cap":
-		capAblation(ctx, *parallel, opt.Progress, rep)
+		capAblation(ctx, opt, rep)
 	case "plru":
 		plruAblation(ctx, opt, rep)
 	case "strict":
@@ -211,7 +221,7 @@ func epochAblation(ctx context.Context, opt experiments.Options, rep *metrics.Re
 
 // capAblation sweeps the maximum-assignable-capacity restriction in the
 // Monte Carlo projection.
-func capAblation(ctx context.Context, workers int, progress runner.ProgressFunc, rep *metrics.Report) {
+func capAblation(ctx context.Context, opt experiments.Options, rep *metrics.Report) {
 	fmt.Println("\nCapacity-cap sweep (Monte Carlo mean relative miss ratio vs equal):")
 	fmt.Printf("%-10s %-14s %-12s\n", "cap ways", "unrestricted", "bank-aware")
 	for _, capWays := range []int{32, 48, 72, 128} {
@@ -220,7 +230,8 @@ func capAblation(ctx context.Context, workers int, progress runner.ProgressFunc,
 		cfg.Seed = 7
 		cfg.Unrestricted.MaxCoreWays = capWays
 		cfg.BankAware.MaxCoreWays = capWays
-		res, err := montecarlo.RunContext(ctx, cfg, montecarlo.Options{Workers: workers, Progress: progress})
+		mopt := montecarlo.Options{Workers: opt.Workers, Progress: opt.Progress, Faults: opt.Faults}
+		res, err := montecarlo.RunContext(ctx, cfg, mopt)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,108 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func listEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := WriteFileBytes(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("read %q, want v1", got)
+	}
+	if err := WriteFileBytes(path, []byte("v2 longer content")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2 longer content" {
+		t.Fatalf("read %q after replace", got)
+	}
+	if names := listEntries(t, dir); len(names) != 1 {
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}
+
+func TestWriteFileFailedWriterLeavesOldVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := WriteFileBytes(path, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("producer died")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage") // a crash mid-write
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the producer's error", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "intact" {
+		t.Fatalf("failed write corrupted the file: %q", got)
+	}
+	if names := listEntries(t, dir); len(names) != 1 {
+		t.Fatalf("failed write leaked temp files: %v", names)
+	}
+}
+
+func TestWriteFileFailedWriterCreatesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.json")
+	err := WriteFile(path, func(io.Writer) error { return errors.New("no") })
+	if err == nil {
+		t.Fatal("failed producer reported success")
+	}
+	if _, statErr := os.Stat(path); !errors.Is(statErr, os.ErrNotExist) {
+		t.Fatalf("failed first write left a file: %v", statErr)
+	}
+	if names := listEntries(t, dir); len(names) != 0 {
+		t.Fatalf("directory not clean: %v", names)
+	}
+}
+
+func TestWriteFileMissingDirectoryErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "x.json")
+	if err := WriteFileBytes(path, []byte("x")); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func TestWriteFileTempNameStaysHidden(t *testing.T) {
+	// The temporary must be dot-prefixed so globbing report directories
+	// (e.g. configs/*.json) never picks up an in-flight write.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	var tmpName string
+	err := WriteFile(path, func(w io.Writer) error {
+		for _, n := range listEntries(t, dir) {
+			tmpName = n
+		}
+		_, err := io.WriteString(w, "ok")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tmpName, ".") {
+		t.Fatalf("in-flight temp file %q is not hidden", tmpName)
+	}
+}

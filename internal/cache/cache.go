@@ -460,6 +460,25 @@ func (b *Bank) Occupancy() [MaxCores]int {
 	return occ
 }
 
+// Clear invalidates every line and returns the addresses that were valid,
+// so an inclusive hierarchy can back-invalidate upper-level copies. Stats
+// and way ownership are untouched. The bank-failure fault model uses it: a
+// fused-off bank loses its contents (dirty data included) but keeps its
+// lifetime counters.
+func (b *Bank) Clear() []trace.Addr {
+	var dropped []trace.Addr
+	for si := range b.sets {
+		for w := range b.sets[si].lines {
+			ln := &b.sets[si].lines[w]
+			if ln.valid {
+				dropped = append(dropped, b.compose(uint64(si), ln.tag))
+				ln.valid, ln.dirty = false, false
+			}
+		}
+	}
+	return dropped
+}
+
 // ValidLines returns the total number of valid lines in the bank.
 func (b *Bank) ValidLines() int {
 	n := 0

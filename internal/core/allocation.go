@@ -26,6 +26,11 @@ type Allocation struct {
 	// set contested by every core — it does not search all banks for every
 	// line. Partitioned allocations keep the paper's Parallel aggregation.
 	Hashed bool
+	// Failed marks banks that are out of service (fused off, thermally
+	// killed). A degraded allocation assigns no capacity in a failed bank:
+	// every way there has the zero owner mask. The empty set is the
+	// healthy machine.
+	Failed nuca.BankSet
 }
 
 // recount recomputes Ways from WayOwners.
@@ -73,7 +78,8 @@ func (a *Allocation) WaysIn(core, b int) int {
 // Validate checks the structural invariants every partitioned allocation
 // must satisfy (called by tests and the epoch controller):
 //
-//  1. every way has at least one owner (no capacity is wasted);
+//  1. every way of a surviving bank has at least one owner (no surviving
+//     capacity is wasted), and no way of a Failed bank has any;
 //  2. every core owns at least one way somewhere (it can always allocate);
 //  3. the Ways totals match the masks.
 //
@@ -82,7 +88,10 @@ func (a *Allocation) WaysIn(core, b int) int {
 func (a *Allocation) Validate() error {
 	for b := 0; b < nuca.NumBanks; b++ {
 		for w := 0; w < nuca.WaysPerBank; w++ {
-			if a.WayOwners[b][w] == 0 {
+			switch {
+			case a.Failed.Has(b) && a.WayOwners[b][w] != 0:
+				return fmt.Errorf("core: failed bank %d way %d has owners", b, w)
+			case !a.Failed.Has(b) && a.WayOwners[b][w] == 0:
 				return fmt.Errorf("core: bank %d way %d has no owner", b, w)
 			}
 		}
@@ -114,6 +123,9 @@ func (a *Allocation) ValidateBankAware() error {
 		return err
 	}
 	for b := 0; b < nuca.NumBanks; b++ {
+		if a.Failed.Has(b) {
+			continue // validated empty by Validate
+		}
 		owners := map[int]bool{}
 		for w := 0; w < nuca.WaysPerBank; w++ {
 			m := a.WayOwners[b][w]
@@ -143,8 +155,13 @@ func (a *Allocation) ValidateBankAware() error {
 			}
 		}
 	}
-	// Rule 2: center-bank owners hold their whole local bank.
+	// Rule 2: center-bank owners hold their whole local bank. A core whose
+	// Local bank failed cannot satisfy it; the rule applies to the
+	// surviving set.
 	for c := 0; c < nuca.NumCores; c++ {
+		if a.Failed.Has(nuca.LocalBankOf(c)) {
+			continue
+		}
 		hasCenter := false
 		for b := nuca.NumCores; b < nuca.NumBanks; b++ {
 			if a.WaysIn(c, b) > 0 {
@@ -253,7 +270,7 @@ func EqualAllocation() *Allocation {
 	}
 	taken := [nuca.NumBanks]bool{}
 	for c := 0; c < nuca.NumCores; c++ {
-		b := nearestFreeCenter(c, &taken)
+		b := nearestFreeCenter(c, &taken, 0)
 		taken[b] = true
 		for w := 0; w < nuca.WaysPerBank; w++ {
 			a.WayOwners[b][w] = cache.OwnerMask(0).With(c)
@@ -277,12 +294,12 @@ func NoPartitionAllocation() *Allocation {
 	return a
 }
 
-// nearestFreeCenter returns the unclaimed Center bank with the lowest
-// access latency from core (ties to the lower bank id).
-func nearestFreeCenter(core int, taken *[nuca.NumBanks]bool) int {
+// nearestFreeCenter returns the unclaimed surviving Center bank with the
+// lowest access latency from core (ties to the lower bank id).
+func nearestFreeCenter(core int, taken *[nuca.NumBanks]bool, failed nuca.BankSet) int {
 	best, bestLat := -1, int64(1<<62)
 	for b := nuca.NumCores; b < nuca.NumBanks; b++ {
-		if taken[b] {
+		if taken[b] || failed.Has(b) {
 			continue
 		}
 		if l := nuca.Latency(core, b); l < bestLat {

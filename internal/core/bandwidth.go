@@ -1,10 +1,6 @@
 package core
 
-import (
-	"fmt"
-
-	"bankaware/internal/nuca"
-)
+import "bankaware/internal/nuca"
 
 // FeedbackPolicy is implemented by policies that accept memory-subsystem
 // feedback from the simulator before each allocation. The epoch controller
@@ -79,33 +75,8 @@ func (p *BandwidthAwarePolicy) SetFeedback(weights []float64) {
 // Weights returns the active per-core weights (for inspection/tests).
 func (p *BandwidthAwarePolicy) Weights() [nuca.NumCores]float64 { return p.weights }
 
-// Allocate implements Policy: scale, allocate, validate, hysteresis.
+// Allocate implements Policy: scale, allocate, validate, hysteresis — the
+// healthy machine is the degraded path with an empty fault set.
 func (p *BandwidthAwarePolicy) Allocate(curves []MissCurve) (*Allocation, error) {
-	if len(curves) != nuca.NumCores {
-		return nil, fmt.Errorf("core: bandwidth-aware needs %d curves, got %d", nuca.NumCores, len(curves))
-	}
-	scaled := make([]MissCurve, len(curves))
-	for i, c := range curves {
-		s := make(MissCurve, len(c))
-		for w, v := range c {
-			s[w] = v * p.weights[i]
-		}
-		scaled[i] = s
-	}
-	a, err := BankAwareWithPrev(scaled, p.Config, p.prev)
-	if err != nil {
-		return nil, err
-	}
-	if err := a.ValidateBankAware(); err != nil {
-		return nil, fmt.Errorf("core: bandwidth-aware produced invalid allocation: %w", err)
-	}
-	if p.prev != nil {
-		newM, err1 := ProjectTotalMisses(scaled, a.Ways[:])
-		oldM, err2 := ProjectTotalMisses(scaled, p.prev.Ways[:])
-		if err1 == nil && err2 == nil && oldM <= newM*(1+p.Hysteresis) {
-			return p.prev, nil
-		}
-	}
-	p.prev = a
-	return a, nil
+	return p.AllocateDegraded(curves, 0)
 }

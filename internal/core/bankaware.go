@@ -53,7 +53,7 @@ func (c BankAwareConfig) Validate() error {
 // complete. Pairing is deferred as long as possible, exactly as the paper
 // describes.
 func BankAware(curves []MissCurve, cfg BankAwareConfig) (*Allocation, error) {
-	return BankAwareWithPrev(curves, cfg, nil)
+	return bankAwareAlloc(curves, cfg, nil, 0)
 }
 
 // BankAwareWithPrev is BankAware with placement affinity to a previous
@@ -63,20 +63,81 @@ func BankAware(curves []MissCurve, cfg BankAwareConfig) (*Allocation, error) {
 // (and thereby lose) its cached data. The logical way assignment itself is
 // unaffected.
 func BankAwareWithPrev(curves []MissCurve, cfg BankAwareConfig, prev *Allocation) (*Allocation, error) {
+	return bankAwareAlloc(curves, cfg, prev, 0)
+}
+
+// BankAwareDegraded is BankAwareWithPrev on a machine with failed banks: no
+// capacity is assigned in any bank of the failed set, and the Section III.B
+// rules are honoured on the surviving banks. A core whose Local bank failed
+// is served by pairing into an adjacent surviving Local bank or — when the
+// chain around it is dead — by a whole surviving Center bank; Rule 2 (a
+// Center owner holds its full Local bank) applies only to cores whose Local
+// bank survives. All surviving capacity is assigned: the per-core totals
+// sum to failed.SurvivingWays(). An error is returned only for fault sets
+// that leave some core physically unservable.
+func BankAwareDegraded(curves []MissCurve, cfg BankAwareConfig, prev *Allocation, failed nuca.BankSet) (*Allocation, error) {
+	return bankAwareAlloc(curves, cfg, prev, failed)
+}
+
+// bankAwareAlloc is the generalised Fig. 6 algorithm over the surviving
+// banks. With an empty failed set it reduces exactly to the paper's
+// algorithm (ownCap is a full Local bank everywhere, every Center bank is
+// distributable).
+func bankAwareAlloc(curves []MissCurve, cfg BankAwareConfig, prev *Allocation, failed nuca.BankSet) (*Allocation, error) {
 	if len(curves) != nuca.NumCores {
 		return nil, fmt.Errorf("core: bank-aware needs %d curves, got %d", nuca.NumCores, len(curves))
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if failed.Count() >= nuca.NumBanks {
+		return nil, fmt.Errorf("core: no surviving banks in %v", failed)
+	}
+
+	// ownCap is each core's private Local region: a whole bank, or nothing
+	// when the bank is dead.
+	var ownCap [nuca.NumCores]int
+	for c := range ownCap {
+		if !failed.Has(nuca.LocalBankOf(c)) {
+			ownCap[c] = nuca.WaysPerBank
+		}
+	}
+	nCenter := 0
+	for b := nuca.NumCores; b < nuca.NumBanks; b++ {
+		if !failed.Has(b) {
+			nCenter++
+		}
+	}
 
 	// ---- Phase 1: Center banks at whole-bank granularity. ----
 	alloc := make([]int, nuca.NumCores)
 	centerCount := make([]int, nuca.NumCores)
 	for c := range alloc {
-		alloc[c] = nuca.WaysPerBank // Local bank provisionally assigned
+		alloc[c] = ownCap[c] // Local bank provisionally assigned
 	}
-	nCenter := nuca.NumBanks - nuca.NumCores
+	// Isolated cores — own Local bank dead and every adjacent Local dead —
+	// can only be fed Center capacity. Reserve one bank each before the
+	// greedy hand-out so they are never starved.
+	for c := range alloc {
+		if ownCap[c] > 0 {
+			continue
+		}
+		reachable := false
+		for _, p := range nuca.AdjacentCores(c) {
+			if ownCap[p] > 0 {
+				reachable = true
+			}
+		}
+		if reachable {
+			continue
+		}
+		if nCenter == 0 {
+			return nil, fmt.Errorf("core: core %d unservable under fault set %v", c, failed)
+		}
+		alloc[c] += nuca.WaysPerBank
+		centerCount[c]++
+		nCenter--
+	}
 	for remaining := nCenter; remaining > 0; {
 		best, bestN := -1, 0
 		bestMU := -1.0
@@ -125,10 +186,13 @@ func BankAwareWithPrev(curves []MissCurve, cfg BankAwareConfig, prev *Allocation
 	}
 	done := make([]bool, nuca.NumCores) // phase-2 core settled
 
+	// A viable partner shares a joint region big enough for both floors —
+	// two live banks (16 ways) on the healthy machine, one (8 ways) when
+	// a member's bank is dead.
 	activeNeighbours := func(c int) []int {
 		var out []int
 		for _, p := range nuca.AdjacentCores(c) {
-			if inLocal[p] && !done[p] && p != c {
+			if inLocal[p] && !done[p] && p != c && ownCap[c]+ownCap[p] >= 2*cfg.MinCoreWays {
 				out = append(out, p)
 			}
 		}
@@ -142,15 +206,22 @@ func BankAwareWithPrev(curves []MissCurve, cfg BankAwareConfig, prev *Allocation
 			if !inLocal[c] || done[c] {
 				continue
 			}
-			hasPartner := len(activeNeighbours(c)) > 0
-			if lalloc[c] >= nuca.WaysPerBank && !hasPartner {
-				continue // at own-bank capacity with nobody to overflow into
+			partners := activeNeighbours(c)
+			hasPartner := len(partners) > 0
+			if lalloc[c] >= ownCap[c] && !hasPartner {
+				continue // at own-region capacity with nobody to overflow into
 			}
 			// Lookahead to the end of the reachable region: the own bank,
-			// or the pair's 16 ways when overflow is possible.
-			room := nuca.WaysPerBank - lalloc[c]
+			// or the pair's joint region when overflow is possible.
+			room := ownCap[c] - lalloc[c]
 			if hasPartner {
-				room = 2*nuca.WaysPerBank - cfg.MinCoreWays - lalloc[c]
+				maxPair := 0
+				for _, p := range partners {
+					if ownCap[p] > maxPair {
+						maxPair = ownCap[p]
+					}
+				}
+				room = ownCap[c] + maxPair - cfg.MinCoreWays - lalloc[c]
 			}
 			if room < 1 {
 				continue
@@ -163,25 +234,25 @@ func BankAwareWithPrev(curves []MissCurve, cfg BankAwareConfig, prev *Allocation
 		if best < 0 || bestMU <= 0 {
 			break // nobody benefits from more; leftovers settle below
 		}
-		if lalloc[best]+bestN <= nuca.WaysPerBank {
+		if lalloc[best]+bestN <= ownCap[best] {
 			lalloc[best] += bestN
 			continue
 		}
-		if lalloc[best] < nuca.WaysPerBank {
+		if lalloc[best] < ownCap[best] {
 			// The extension crosses into a neighbour's region: fill the
 			// own bank now; the overflow decision happens when the core
 			// wins again at the boundary.
-			lalloc[best] = nuca.WaysPerBank
+			lalloc[best] = ownCap[best]
 			continue
 		}
 		// Overflow into a neighbour's Local region (Box 5): choose the
 		// ideal pair with respect to minimal combined misses, under the
-		// jointly optimal split of the pair's 16 ways.
+		// jointly optimal split of the pair's joint region.
 		partners := activeNeighbours(best)
 		bestP, bestSplit := -1, 0
 		bestMisses := 0.0
 		for _, p := range partners {
-			s, m := optimalPairSplit(curves[best], curves[p], cfg.MinCoreWays)
+			s, m := optimalPairSplit(curves[best], curves[p], cfg.MinCoreWays, ownCap[best]+ownCap[p])
 			if bestP < 0 || m < bestMisses {
 				bestP, bestSplit, bestMisses = p, s, m
 			}
@@ -191,29 +262,70 @@ func BankAwareWithPrev(curves []MissCurve, cfg BankAwareConfig, prev *Allocation
 			continue
 		}
 		lalloc[best] = bestSplit
-		lalloc[bestP] = 2*nuca.WaysPerBank - bestSplit
+		lalloc[bestP] = ownCap[best] + ownCap[bestP] - bestSplit
 		pairedWith[best], pairedWith[bestP] = bestP, best
 		done[best], done[bestP] = true, true
 	}
-	// Unpaired phase-2 cores keep their whole Local bank: all capacity is
-	// always assigned.
+	// Unpaired phase-2 cores keep their whole Local region: all surviving
+	// capacity is always assigned.
 	for c := 0; c < nuca.NumCores; c++ {
 		if inLocal[c] && pairedWith[c] < 0 {
-			lalloc[c] = nuca.WaysPerBank
+			lalloc[c] = ownCap[c]
 		}
+	}
+	// Degraded fix-up: a dead-Local core that never overflowed (its curve
+	// projected no benefit, or its neighbours settled first) still needs
+	// capacity. Pair it at the jointly optimal split, or — when no live
+	// adjacent region is available — hand it a whole Center bank from the
+	// best-provisioned Center owner.
+	for c := 0; c < nuca.NumCores; c++ {
+		if !inLocal[c] || pairedWith[c] >= 0 || lalloc[c] > 0 {
+			continue
+		}
+		fixed := false
+		for _, p := range nuca.AdjacentCores(c) {
+			if inLocal[p] && pairedWith[p] < 0 && ownCap[p] >= 2*cfg.MinCoreWays {
+				s, _ := optimalPairSplit(curves[c], curves[p], cfg.MinCoreWays, ownCap[p])
+				lalloc[c], lalloc[p] = s, ownCap[p]-s
+				pairedWith[c], pairedWith[p] = p, c
+				done[c], done[p] = true, true
+				fixed = true
+				break
+			}
+		}
+		if fixed {
+			continue
+		}
+		donor := -1
+		for d := 0; d < nuca.NumCores; d++ {
+			if d != c && centerCount[d] > 0 && alloc[d]-nuca.WaysPerBank >= cfg.MinCoreWays &&
+				(donor < 0 || alloc[d] > alloc[donor]) {
+				donor = d
+			}
+		}
+		if donor < 0 {
+			return nil, fmt.Errorf("core: cannot serve core %d under fault set %v", c, failed)
+		}
+		alloc[donor] -= nuca.WaysPerBank
+		centerCount[donor]--
+		alloc[c] += nuca.WaysPerBank
+		centerCount[c]++
+		inLocal[c] = false
+	}
+	for c := 0; c < nuca.NumCores; c++ {
 		if inLocal[c] {
 			alloc[c] = lalloc[c]
 		}
 	}
 
-	return buildAllocation(alloc, centerCount, pairedWith, prev)
+	return buildAllocation(alloc, centerCount, pairedWith, prev, failed)
 }
 
 // optimalPairSplit returns the split s (ways for core a; the partner gets
-// 16-s) minimising the pair's combined misses, and that minimal value.
-// Both sides keep at least minWays.
-func optimalPairSplit(a, b MissCurve, minWays int) (s int, misses float64) {
-	total := 2 * nuca.WaysPerBank
+// total-s) minimising the pair's combined misses, and that minimal value.
+// Both sides keep at least minWays. total is the pair's joint region: two
+// Local banks, or one when a member's bank is dead.
+func optimalPairSplit(a, b MissCurve, minWays, total int) (s int, misses float64) {
 	s = -1
 	for k := minWays; k <= total-minWays; k++ {
 		m := a.Misses(k) + b.Misses(total-k)
@@ -225,13 +337,14 @@ func optimalPairSplit(a, b MissCurve, minWays int) (s int, misses float64) {
 }
 
 // buildAllocation turns the logical assignment (ways per core, center-bank
-// counts, local pairings) into physical way-owner masks. Center banks go to
-// their owners with affinity to the previous epoch's placement first (so a
-// stable way count keeps its data), then nearest-first (lowest access
-// latency); each pair shares the smaller member's Local bank, so the larger
-// member's bank stays whole.
-func buildAllocation(alloc, centerCount, pairedWith []int, prev *Allocation) (*Allocation, error) {
-	a := &Allocation{}
+// counts, local pairings) into physical way-owner masks over the surviving
+// banks. Center banks go to their owners with affinity to the previous
+// epoch's placement first (so a stable way count keeps its data), then
+// nearest-first (lowest access latency); each pair shares the smaller
+// member's Local bank — or the surviving member's when the other is dead —
+// so the larger member's bank stays whole.
+func buildAllocation(alloc, centerCount, pairedWith []int, prev *Allocation, failed nuca.BankSet) (*Allocation, error) {
+	a := &Allocation{Failed: failed}
 	own := func(c int) cache.OwnerMask { return cache.OwnerMask(0).With(c) }
 
 	taken := [nuca.NumBanks]bool{}
@@ -240,7 +353,7 @@ func buildAllocation(alloc, centerCount, pairedWith []int, prev *Allocation) (*A
 	if prev != nil {
 		for c := 0; c < nuca.NumCores; c++ {
 			for b := nuca.NumCores; b < nuca.NumBanks && need[c] > 0; b++ {
-				if !taken[b] && prev.WaysIn(c, b) == nuca.WaysPerBank {
+				if !taken[b] && !failed.Has(b) && prev.WaysIn(c, b) == nuca.WaysPerBank {
 					taken[b] = true
 					need[c]--
 					for w := 0; w < nuca.WaysPerBank; w++ {
@@ -255,7 +368,7 @@ func buildAllocation(alloc, centerCount, pairedWith []int, prev *Allocation) (*A
 	// are small by construction).
 	for c := 0; c < nuca.NumCores; c++ {
 		for k := 0; k < need[c]; k++ {
-			b := nearestFreeCenter(c, &taken)
+			b := nearestFreeCenter(c, &taken, failed)
 			taken[b] = true
 			for w := 0; w < nuca.WaysPerBank; w++ {
 				a.WayOwners[b][w] = own(c)
@@ -265,13 +378,30 @@ func buildAllocation(alloc, centerCount, pairedWith []int, prev *Allocation) (*A
 
 	// Local banks.
 	for c := 0; c < nuca.NumCores; c++ {
-		p := pairedWith[c]
 		lb := nuca.LocalBankOf(c)
+		if failed.Has(lb) {
+			continue // dead bank: no owners
+		}
+		p := pairedWith[c]
 		switch {
 		case p < 0:
 			// Whole bank to its core (complete cores and singletons).
 			for w := 0; w < nuca.WaysPerBank; w++ {
 				a.WayOwners[lb][w] = own(c)
+			}
+		case failed.Has(nuca.LocalBankOf(p)):
+			// The partner's bank is dead: this bank carries the whole
+			// pair. The partner holds its full share here.
+			spill := alloc[p]
+			if spill < 0 || spill >= nuca.WaysPerBank {
+				return nil, fmt.Errorf("core: degraded pair (%d,%d) spill %d out of range", c, p, spill)
+			}
+			for w := 0; w < nuca.WaysPerBank; w++ {
+				if w < spill {
+					a.WayOwners[lb][w] = own(p)
+				} else {
+					a.WayOwners[lb][w] = own(c)
+				}
 			}
 		case alloc[c] >= alloc[p]:
 			// The larger member keeps its own bank whole; handled when we

@@ -103,3 +103,43 @@ func FuzzUnrestrictedAllocator(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBankAwareDegraded drives the degraded allocator with arbitrary curve
+// shapes and arbitrary fault masks. The allocator must either serve the
+// fault set — no capacity in failed banks, surviving capacity exactly
+// distributed, Section III.B structure intact on the survivors — or return
+// the documented unservable error; it must never panic or emit an invalid
+// allocation.
+func FuzzBankAwareDegraded(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{3, 14, 15}, uint16(1<<9))
+	f.Add([]byte{255, 0, 17}, uint16(1<<0|1<<8))
+	f.Add([]byte("degraded"), uint16(0xff00))
+	f.Fuzz(func(t *testing.T, data []byte, mask uint16) {
+		curves := fuzzCurves(data)
+		cfg := DefaultBankAware()
+		failed := nuca.BankSet(mask)
+		alloc, err := BankAwareDegraded(curves, cfg, nil, failed)
+		if err != nil {
+			return // unservable fault set — a legal verdict
+		}
+		if alloc.Failed != failed {
+			t.Fatalf("allocation failed set %v, want %v", alloc.Failed, failed)
+		}
+		if err := alloc.ValidateBankAware(); err != nil {
+			t.Fatalf("invalid allocation under %v: %v", failed, err)
+		}
+		total := 0
+		for c := 0; c < nuca.NumCores; c++ {
+			total += alloc.Ways[c]
+			for _, b := range failed.Banks() {
+				if alloc.WaysIn(c, b) != 0 {
+					t.Fatalf("core %d holds ways in failed bank %d", c, b)
+				}
+			}
+		}
+		if want := failed.SurvivingWays(); total != want {
+			t.Fatalf("allocated %d ways, surviving capacity is %d (failed %v)", total, want, failed)
+		}
+	})
+}

@@ -472,7 +472,7 @@ func TestOptimalPairSplit(t *testing.T) {
 		a[i] = math.Max(0, float64(11-i)) * 100
 		b[i] = math.Max(0, float64(5-i)) * 100
 	}
-	s, m := optimalPairSplit(a, b, 2)
+	s, m := optimalPairSplit(a, b, 2, 2*nuca.WaysPerBank)
 	if s != 11 {
 		t.Fatalf("split = %d, want 11", s)
 	}
@@ -488,7 +488,7 @@ func TestOptimalPairSplitRespectsMin(t *testing.T) {
 		a[i] = float64(100 - i)
 	}
 	b := make(MissCurve, 17) // flat zero
-	s, _ := optimalPairSplit(a, b, 2)
+	s, _ := optimalPairSplit(a, b, 2, 2*nuca.WaysPerBank)
 	if s != 14 {
 		t.Fatalf("split = %d, want 14 (16 minus the 2-way floor)", s)
 	}

@@ -95,24 +95,10 @@ func (p *BankAwarePolicy) Clone() Policy {
 	return &BankAwarePolicy{Config: p.Config, Hysteresis: p.Hysteresis}
 }
 
-// Allocate implements Policy.
+// Allocate implements Policy: the healthy machine is the degraded path with
+// an empty fault set.
 func (p *BankAwarePolicy) Allocate(curves []MissCurve) (*Allocation, error) {
-	a, err := BankAwareWithPrev(curves, p.Config, p.prev)
-	if err != nil {
-		return nil, err
-	}
-	if err := a.ValidateBankAware(); err != nil {
-		return nil, fmt.Errorf("core: bank-aware produced invalid allocation: %w", err)
-	}
-	if p.prev != nil {
-		newM, err1 := ProjectTotalMisses(curves, a.Ways[:])
-		oldM, err2 := ProjectTotalMisses(curves, p.prev.Ways[:])
-		if err1 == nil && err2 == nil && oldM <= newM*(1+p.Hysteresis) {
-			return p.prev, nil
-		}
-	}
-	p.prev = a
-	return a, nil
+	return p.AllocateDegraded(curves, 0)
 }
 
 // PolicyByName resolves the CLI names used across cmd/ tools.

@@ -37,31 +37,23 @@ func (p *UnrestrictedPolicy) Clone() Policy {
 	return &UnrestrictedPolicy{Config: p.Config, Hysteresis: p.Hysteresis}
 }
 
-// Allocate implements Policy.
+// Allocate implements Policy: the healthy machine is the degraded path with
+// an empty fault set.
 func (p *UnrestrictedPolicy) Allocate(curves []MissCurve) (*Allocation, error) {
-	ways, err := Unrestricted(curves, p.Config)
-	if err != nil {
-		return nil, err
-	}
-	if p.prev != nil && p.prevWays != nil {
-		newM, err1 := ProjectTotalMisses(curves, ways)
-		oldM, err2 := ProjectTotalMisses(curves, p.prevWays)
-		if err1 == nil && err2 == nil && oldM <= newM*(1+p.Hysteresis) {
-			return p.prev, nil
-		}
-	}
-	a, err := UnrestrictedAllocation(ways)
-	if err != nil {
-		return nil, err
-	}
-	p.prev, p.prevWays = a, ways
-	return a, nil
+	return p.AllocateDegraded(curves, 0)
 }
 
 // UnrestrictedAllocation packs arbitrary per-core way counts onto the 16
 // banks with no physical rules: each core first claims ways in its Local
 // bank, then in the nearest banks with free ways, splitting banks freely.
 func UnrestrictedAllocation(ways []int) (*Allocation, error) {
+	return UnrestrictedAllocationDegraded(ways, 0)
+}
+
+// UnrestrictedAllocationDegraded is UnrestrictedAllocation over the
+// surviving banks: failed banks offer no capacity, and the way counts must
+// sum to exactly the surviving ways.
+func UnrestrictedAllocationDegraded(ways []int, failed nuca.BankSet) (*Allocation, error) {
 	if len(ways) != nuca.NumCores {
 		return nil, fmt.Errorf("core: need %d way counts, got %d", nuca.NumCores, len(ways))
 	}
@@ -72,13 +64,15 @@ func UnrestrictedAllocation(ways []int) (*Allocation, error) {
 		}
 		total += w
 	}
-	if total != nuca.NumBanks*nuca.WaysPerBank {
-		return nil, fmt.Errorf("core: way counts sum to %d, want %d", total, nuca.NumBanks*nuca.WaysPerBank)
+	if total != failed.SurvivingWays() {
+		return nil, fmt.Errorf("core: way counts sum to %d, want %d", total, failed.SurvivingWays())
 	}
-	a := &Allocation{}
+	a := &Allocation{Failed: failed}
 	free := [nuca.NumBanks]int{}
 	for b := range free {
-		free[b] = nuca.WaysPerBank
+		if !failed.Has(b) {
+			free[b] = nuca.WaysPerBank
+		}
 	}
 	claim := func(c, b, n int) {
 		start := nuca.WaysPerBank - free[b]
@@ -88,14 +82,17 @@ func UnrestrictedAllocation(ways []int) (*Allocation, error) {
 		free[b] -= n
 	}
 	need := append([]int(nil), ways...)
-	// Local banks first.
+	// Surviving Local banks first.
 	for c := 0; c < nuca.NumCores; c++ {
+		lb := nuca.LocalBankOf(c)
 		n := need[c]
-		if n > nuca.WaysPerBank {
-			n = nuca.WaysPerBank
+		if n > free[lb] {
+			n = free[lb]
 		}
-		claim(c, nuca.LocalBankOf(c), n)
-		need[c] -= n
+		if n > 0 {
+			claim(c, lb, n)
+			need[c] -= n
+		}
 	}
 	// Then nearest banks with any free capacity.
 	for c := 0; c < nuca.NumCores; c++ {

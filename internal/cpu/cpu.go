@@ -55,7 +55,7 @@ func (c Config) Validate() error {
 	if c.MSHRs < 1 {
 		return fmt.Errorf("cpu: MSHRs must be >= 1, got %d", c.MSHRs)
 	}
-	if c.BranchMPKI < 0 || c.BranchMPKI > 1000 {
+	if !(c.BranchMPKI >= 0 && c.BranchMPKI <= 1000) { // rejects NaN too
 		return fmt.Errorf("cpu: branch MPKI %v outside [0,1000]", c.BranchMPKI)
 	}
 	if c.MispredictPenalty < 0 {

@@ -10,8 +10,10 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"bankaware/internal/core"
+	"bankaware/internal/faults"
 	"bankaware/internal/metrics"
 	"bankaware/internal/msa"
 	"bankaware/internal/runner"
@@ -35,11 +37,31 @@ type Options struct {
 	// partition events per run). Observation never changes simulated
 	// outcomes, only what gets recorded.
 	Observe bool
+	// Faults injects the fault plan into every simulation (see
+	// sim.Config.Faults): banks fail or slow down at the scheduled epochs
+	// and the policies re-partition around them. Nil runs healthy.
+	Faults *faults.Plan
+	// Retries, RetryBackoff and JobTimeout configure per-job resilience;
+	// see the runner.Config fields of the same names.
+	Retries      int
+	RetryBackoff time.Duration
+	JobTimeout   time.Duration
+}
+
+// runnerConfig builds the engine configuration for one fan-out.
+func (o Options) runnerConfig() runner.Config {
+	return runner.Config{
+		Workers: o.Workers, Progress: o.Progress,
+		Retries: o.Retries, RetryBackoff: o.RetryBackoff, JobTimeout: o.JobTimeout,
+	}
 }
 
 func (o Options) apply(cfg sim.Config) sim.Config {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
+	}
+	if o.Faults != nil {
+		cfg.Faults = o.Faults
 	}
 	return cfg
 }
@@ -195,7 +217,7 @@ func RunSetContext(ctx context.Context, cfg sim.Config, set int, workloads []str
 		return nil, err
 	}
 	protos := setPolicyPrototypes()
-	runs, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+	runs, err := runner.Map(ctx, opt.runnerConfig(),
 		len(protos), func(ctx context.Context, job int) (policyRun, error) {
 			return runPolicy(ctx, cfg, specs, protos[job], workloads, instructions, opt.Observe)
 		})
@@ -245,7 +267,7 @@ func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, o
 	const policies = 3
 	protos := setPolicyPrototypes()
 	jobs := len(TableIIISets) * policies
-	runs, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+	runs, err := runner.Map(ctx, opt.runnerConfig(),
 		jobs, func(ctx context.Context, job int) (policyRun, error) {
 			set, pol := job/policies, job%policies
 			specs, err := resolveSpecs(TableIIISets[set][:])

@@ -1,0 +1,339 @@
+// Package faults models physical and measurement faults for the bank-aware
+// partitioning system: failed or latency-degraded L2 banks, noisy or stale
+// MSA profiler curves, and DRAM latency spikes. A Plan is a deterministic,
+// seed-driven schedule of such events over repartitioning epochs — the
+// simulator consumes it at epoch boundaries, so a fixed (config seed, plan)
+// pair reproduces a degraded run byte-for-byte.
+//
+// The paper's core argument is that a realistic partitioner must respect
+// physical banking restrictions; a fused-off or thermally throttled bank is
+// the same kind of restriction arising at runtime. The degraded allocation
+// paths in internal/core re-partition around the failed set while keeping
+// the Section III.B rules on the surviving banks.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"bankaware/internal/nuca"
+	"bankaware/internal/stats"
+)
+
+// Kind identifies a fault class.
+type Kind string
+
+// Fault kinds.
+const (
+	// BankFail marks an L2 bank dead from the event's epoch: its contents
+	// are lost and no allocator may assign capacity in it. With a Duration
+	// the bank later returns to service empty (thermal throttling).
+	BankFail Kind = "bank-fail"
+	// BankSlow adds ExtraCycles to every access of one bank (degraded
+	// voltage/frequency domain) while active.
+	BankSlow Kind = "bank-slow"
+	// CurveNoise perturbs every core's MSA miss curve multiplicatively by
+	// up to ±Amplitude before the policy sees it (imperfect monitoring).
+	CurveNoise Kind = "curve-noise"
+	// CurveStale freezes the policy's view of the miss curves at the
+	// previous epoch's profile (a stuck or lagging profiler).
+	CurveStale Kind = "curve-stale"
+	// DRAMSpike adds ExtraCycles to every DRAM request while active
+	// (refresh storms, thermal throttling of the memory controller).
+	DRAMSpike Kind = "dram-spike"
+)
+
+func (k Kind) valid() bool {
+	switch k {
+	case BankFail, BankSlow, CurveNoise, CurveStale, DRAMSpike:
+		return true
+	}
+	return false
+}
+
+// Event is one scheduled fault. Zero-valued optional fields are omitted from
+// the JSON encoding.
+type Event struct {
+	// Epoch is the first repartitioning epoch (0 = the initial allocation)
+	// at which the fault is active.
+	Epoch int `json:"epoch"`
+	// Kind selects the fault class.
+	Kind Kind `json:"kind"`
+	// Bank is the affected L2 bank for BankFail and BankSlow.
+	Bank int `json:"bank,omitempty"`
+	// ExtraCycles is the added latency for BankSlow and DRAMSpike.
+	ExtraCycles int64 `json:"extra_cycles,omitempty"`
+	// Amplitude is the CurveNoise fractional amplitude in [0, 1].
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// Duration is how many epochs the fault stays active; zero means until
+	// the end of the run.
+	Duration int `json:"duration,omitempty"`
+}
+
+// activeAt reports whether the event covers epoch e.
+func (ev Event) activeAt(e int) bool {
+	if e < ev.Epoch {
+		return false
+	}
+	return ev.Duration == 0 || e < ev.Epoch+ev.Duration
+}
+
+// Validate reports event errors.
+func (ev Event) Validate() error {
+	if !ev.Kind.valid() {
+		return fmt.Errorf("faults: unknown kind %q", ev.Kind)
+	}
+	if ev.Epoch < 0 {
+		return fmt.Errorf("faults: %s event at negative epoch %d", ev.Kind, ev.Epoch)
+	}
+	if ev.Duration < 0 {
+		return fmt.Errorf("faults: %s event with negative duration %d", ev.Kind, ev.Duration)
+	}
+	switch ev.Kind {
+	case BankFail, BankSlow:
+		if ev.Bank < 0 || ev.Bank >= nuca.NumBanks {
+			return fmt.Errorf("faults: %s bank %d outside [0,%d)", ev.Kind, ev.Bank, nuca.NumBanks)
+		}
+	}
+	switch ev.Kind {
+	case BankSlow, DRAMSpike:
+		if ev.ExtraCycles < 1 {
+			return fmt.Errorf("faults: %s event needs positive extra_cycles, got %d", ev.Kind, ev.ExtraCycles)
+		}
+	}
+	if ev.Kind == CurveNoise {
+		if ev.Amplitude <= 0 || ev.Amplitude > 1 || ev.Amplitude != ev.Amplitude {
+			return fmt.Errorf("faults: curve-noise amplitude %v outside (0,1]", ev.Amplitude)
+		}
+	}
+	return nil
+}
+
+// Plan is a deterministic fault schedule. Seed drives every random draw the
+// plan implies (the per-epoch curve-noise perturbations), so two systems
+// running the same plan observe identical faults.
+type Plan struct {
+	// Seed derives the noise RNG streams. Independent of the simulator's
+	// workload seed so fault randomness and workload randomness decouple.
+	Seed uint64 `json:"seed"`
+	// Events is the schedule. Order does not matter; Snapshot composition
+	// is order-independent (latencies add, bank sets union).
+	Events []Event `json:"events"`
+}
+
+// Validate reports plan errors, including fault sets that leave no surviving
+// bank at some epoch (a machine with no L2 left cannot be re-partitioned).
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, ev := range p.Events {
+		if err := ev.Validate(); err != nil {
+			return fmt.Errorf("faults: event %d: %w", i, err)
+		}
+	}
+	// Check bank survival at every epoch where the failed set can change.
+	for _, ev := range p.Events {
+		for _, e := range []int{ev.Epoch, ev.Epoch + ev.Duration} {
+			if ev.Duration == 0 && e != ev.Epoch {
+				continue
+			}
+			if failed := p.FailedAt(e); failed.Count() == nuca.NumBanks {
+				return fmt.Errorf("faults: all %d banks failed at epoch %d", nuca.NumBanks, e)
+			}
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan schedules nothing (nil included).
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Snapshot is the composed fault state at one epoch.
+type Snapshot struct {
+	// Failed is the set of dead banks.
+	Failed nuca.BankSet
+	// BankExtra is the added access latency per bank (active BankSlow
+	// events on the same bank add up).
+	BankExtra [nuca.NumBanks]int64
+	// NoiseAmplitude is the strongest active CurveNoise amplitude (zero
+	// when none).
+	NoiseAmplitude float64
+	// Stale is set while a CurveStale event is active.
+	Stale bool
+	// DRAMExtra is the added DRAM request latency (active spikes add up).
+	DRAMExtra int64
+}
+
+// Zero reports whether the snapshot carries no active fault.
+func (s Snapshot) Zero() bool {
+	return s.Failed == 0 && s.NoiseAmplitude == 0 && !s.Stale && s.DRAMExtra == 0 &&
+		s.BankExtra == [nuca.NumBanks]int64{}
+}
+
+// At composes the fault state active at epoch e. A nil plan yields the zero
+// snapshot.
+func (p *Plan) At(e int) Snapshot {
+	var snap Snapshot
+	if p == nil {
+		return snap
+	}
+	for _, ev := range p.Events {
+		if !ev.activeAt(e) {
+			continue
+		}
+		switch ev.Kind {
+		case BankFail:
+			snap.Failed = snap.Failed.With(ev.Bank)
+		case BankSlow:
+			snap.BankExtra[ev.Bank] += ev.ExtraCycles
+		case CurveNoise:
+			if ev.Amplitude > snap.NoiseAmplitude {
+				snap.NoiseAmplitude = ev.Amplitude
+			}
+		case CurveStale:
+			snap.Stale = true
+		case DRAMSpike:
+			snap.DRAMExtra += ev.ExtraCycles
+		}
+	}
+	// Latency degradation of a dead bank is moot.
+	for b := range snap.BankExtra {
+		if snap.Failed.Has(b) {
+			snap.BankExtra[b] = 0
+		}
+	}
+	return snap
+}
+
+// FailedAt returns just the failed-bank set at epoch e.
+func (p *Plan) FailedAt(e int) nuca.BankSet {
+	var failed nuca.BankSet
+	if p == nil {
+		return failed
+	}
+	for _, ev := range p.Events {
+		if ev.Kind == BankFail && ev.activeAt(e) {
+			failed = failed.With(ev.Bank)
+		}
+	}
+	return failed
+}
+
+// ActiveAt returns the events covering epoch e, in schedule order.
+func (p *Plan) ActiveAt(e int) []Event {
+	if p == nil {
+		return nil
+	}
+	var out []Event
+	for _, ev := range p.Events {
+		if ev.activeAt(e) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// StartingAt returns the events whose active window opens exactly at epoch
+// e, in schedule order.
+func (p *Plan) StartingAt(e int) []Event {
+	if p == nil {
+		return nil
+	}
+	var out []Event
+	for _, ev := range p.Events {
+		if ev.Epoch == e {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// RNG derives the deterministic noise stream for one (epoch, core) pair.
+// The derivation depends only on the plan seed and the pair, never on call
+// order, so parallel campaigns and resumed runs draw identical noise.
+func (p *Plan) RNG(epoch, core int) *stats.RNG {
+	seed := uint64(1)
+	if p != nil {
+		seed = p.Seed
+	}
+	a := seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15
+	b := seed ^ (uint64(core)+1)*0xbf58476d1ce4e5b9 ^ 0x94d049bb133111eb
+	return stats.NewRNG(a, b)
+}
+
+// sortEvents orders events by (epoch, kind, bank) for stable encoding.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Epoch != evs[j].Epoch {
+			return evs[i].Epoch < evs[j].Epoch
+		}
+		if evs[i].Kind != evs[j].Kind {
+			return evs[i].Kind < evs[j].Kind
+		}
+		return evs[i].Bank < evs[j].Bank
+	})
+}
+
+// Parse decodes and validates a JSON plan.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("faults: decoding plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads a plan from a JSON file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// MarshalIndent encodes the plan as stable, indented JSON with events in
+// (epoch, kind, bank) order and a trailing newline.
+func (p *Plan) MarshalIndent() ([]byte, error) {
+	cp := Plan{Seed: p.Seed, Events: append([]Event(nil), p.Events...)}
+	sortEvents(cp.Events)
+	b, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("faults: encoding plan: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// String summarises the plan for logs.
+func (p *Plan) String() string {
+	if p.Empty() {
+		return "faults: none"
+	}
+	counts := map[Kind]int{}
+	for _, ev := range p.Events {
+		counts[ev.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	s := fmt.Sprintf("faults: %d events (", len(p.Events))
+	for i, k := range kinds {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s x%d", k, counts[Kind(k)])
+	}
+	return s + ")"
+}

@@ -1,0 +1,276 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"bankaware/internal/nuca"
+	"bankaware/internal/stats"
+)
+
+func TestEventValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		ok   bool
+	}{
+		{"bank fail", Event{Kind: BankFail, Bank: 9}, true},
+		{"bank fail recovering", Event{Kind: BankFail, Bank: 9, Duration: 3}, true},
+		{"bank slow", Event{Kind: BankSlow, Bank: 0, ExtraCycles: 20}, true},
+		{"curve noise", Event{Kind: CurveNoise, Amplitude: 0.25}, true},
+		{"curve stale", Event{Epoch: 2, Kind: CurveStale, Duration: 1}, true},
+		{"dram spike", Event{Kind: DRAMSpike, ExtraCycles: 100}, true},
+		{"unknown kind", Event{Kind: "meteor-strike"}, false},
+		{"negative epoch", Event{Epoch: -1, Kind: BankFail}, false},
+		{"negative duration", Event{Kind: BankFail, Duration: -2}, false},
+		{"bank out of range", Event{Kind: BankFail, Bank: nuca.NumBanks}, false},
+		{"negative bank", Event{Kind: BankSlow, Bank: -1, ExtraCycles: 5}, false},
+		{"slow without cycles", Event{Kind: BankSlow, Bank: 1}, false},
+		{"spike without cycles", Event{Kind: DRAMSpike}, false},
+		{"noise amplitude zero", Event{Kind: CurveNoise}, false},
+		{"noise amplitude over one", Event{Kind: CurveNoise, Amplitude: 1.5}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.ev.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestPlanValidateRejectsTotalFailure(t *testing.T) {
+	p := &Plan{}
+	for b := 0; b < nuca.NumBanks; b++ {
+		p.Events = append(p.Events, Event{Kind: BankFail, Bank: b})
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("plan failing all 16 banks validated")
+	}
+	// Fifteen failures leave one bank: legal (if grim).
+	p.Events = p.Events[:nuca.NumBanks-1]
+	if err := p.Validate(); err != nil {
+		t.Fatalf("plan failing 15 banks rejected: %v", err)
+	}
+}
+
+func TestPlanAtComposition(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Epoch: 1, Kind: BankFail, Bank: 9},
+		{Epoch: 2, Kind: BankFail, Bank: 3, Duration: 2},
+		{Epoch: 0, Kind: BankSlow, Bank: 4, ExtraCycles: 20},
+		{Epoch: 0, Kind: BankSlow, Bank: 4, ExtraCycles: 5},
+		{Epoch: 1, Kind: CurveNoise, Amplitude: 0.1, Duration: 1},
+		{Epoch: 1, Kind: CurveNoise, Amplitude: 0.3, Duration: 1},
+		{Epoch: 3, Kind: CurveStale, Duration: 1},
+		{Epoch: 2, Kind: DRAMSpike, ExtraCycles: 100, Duration: 1},
+		{Epoch: 2, Kind: DRAMSpike, ExtraCycles: 50, Duration: 2},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	s0 := p.At(0)
+	if s0.Failed != 0 || s0.BankExtra[4] != 25 || s0.NoiseAmplitude != 0 {
+		t.Fatalf("epoch 0 snapshot wrong: %+v", s0)
+	}
+	s1 := p.At(1)
+	if !s1.Failed.Has(9) || s1.Failed.Count() != 1 {
+		t.Fatalf("epoch 1 failed set = %v", s1.Failed)
+	}
+	if s1.NoiseAmplitude != 0.3 { // strongest active noise wins
+		t.Fatalf("epoch 1 noise = %v, want 0.3", s1.NoiseAmplitude)
+	}
+	s2 := p.At(2)
+	if !s2.Failed.Has(3) || !s2.Failed.Has(9) || s2.Failed.Count() != 2 {
+		t.Fatalf("epoch 2 failed set = %v", s2.Failed)
+	}
+	if s2.DRAMExtra != 150 { // spikes add up
+		t.Fatalf("epoch 2 dram extra = %d, want 150", s2.DRAMExtra)
+	}
+	s3 := p.At(3)
+	if !s3.Stale || s3.DRAMExtra != 50 {
+		t.Fatalf("epoch 3 snapshot wrong: %+v", s3)
+	}
+	s4 := p.At(4)
+	if s4.Failed.Has(3) { // duration-2 failure recovered
+		t.Fatalf("bank 3 still failed at epoch 4: %v", s4.Failed)
+	}
+	if !s4.Failed.Has(9) { // open-ended failure persists
+		t.Fatalf("bank 9 recovered at epoch 4: %v", s4.Failed)
+	}
+	if s4.NoiseAmplitude != 0 || s4.Stale {
+		t.Fatalf("epoch 4 profiler faults still active: %+v", s4)
+	}
+}
+
+func TestSnapshotSlowFailedBankIsMoot(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: BankFail, Bank: 7},
+		{Kind: BankSlow, Bank: 7, ExtraCycles: 40},
+	}}
+	if got := p.At(0).BankExtra[7]; got != 0 {
+		t.Fatalf("failed bank still carries extra latency %d", got)
+	}
+}
+
+func TestNilPlanIsHealthy(t *testing.T) {
+	var p *Plan
+	if !p.At(5).Zero() {
+		t.Fatal("nil plan snapshot not zero")
+	}
+	if p.FailedAt(0) != 0 || p.ActiveAt(0) != nil || p.StartingAt(0) != nil {
+		t.Fatal("nil plan reports activity")
+	}
+	if !p.Empty() {
+		t.Fatal("nil plan not empty")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("nil plan invalid: %v", err)
+	}
+}
+
+func TestRNGDeterministicAndOrderIndependent(t *testing.T) {
+	p := &Plan{Seed: 42}
+	a1 := p.RNG(3, 5)
+	b1 := p.RNG(7, 1) // interleaved draws must not affect each other
+	a2 := p.RNG(3, 5)
+	for i := 0; i < 100; i++ {
+		b1.Float64()
+		if a1.Float64() != a2.Float64() {
+			t.Fatalf("RNG(3,5) stream diverged at draw %d", i)
+		}
+	}
+	// Distinct (epoch, core) pairs get distinct streams.
+	if p.RNG(0, 0).Uint64() == p.RNG(0, 1).Uint64() || p.RNG(0, 0).Uint64() == p.RNG(1, 0).Uint64() {
+		t.Fatal("distinct pairs drew identical first values")
+	}
+	// Distinct plan seeds get distinct streams.
+	q := &Plan{Seed: 43}
+	if p.RNG(0, 0).Uint64() == q.RNG(0, 0).Uint64() {
+		t.Fatal("distinct seeds drew identical first values")
+	}
+}
+
+func TestMarshalRoundTripStable(t *testing.T) {
+	p := &Plan{Seed: 9, Events: []Event{
+		{Epoch: 2, Kind: DRAMSpike, ExtraCycles: 100, Duration: 1},
+		{Epoch: 0, Kind: BankFail, Bank: 12},
+		{Epoch: 0, Kind: BankFail, Bank: 9},
+		{Epoch: 1, Kind: CurveNoise, Amplitude: 0.2},
+	}}
+	enc1, err := p.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := q.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("encoding not stable:\n%s\nvs\n%s", enc1, enc2)
+	}
+	// The original event order must not leak into the encoding.
+	for e := 0; e < 5; e++ {
+		if q.At(e) != p.At(e) {
+			t.Fatalf("epoch %d snapshot changed across round trip", e)
+		}
+	}
+}
+
+func TestParseRejectsBadPlans(t *testing.T) {
+	for _, data := range []string{
+		`{"seed":1,"events":[{"epoch":0,"kind":"nope"}]}`,
+		`{"seed":1,"events":[{"epoch":-3,"kind":"bank-fail"}]}`,
+		`not json`,
+	} {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("Parse(%q) accepted", data)
+		}
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	spec := GenSpec{
+		BankFailures: 2, CenterOnly: true,
+		SlowBanks: 1, NoiseAmplitude: 0.1,
+		DRAMSpikes: 2, Epochs: 8,
+	}
+	p1, err := Generate(spec, stats.NewRNG(11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Generate(spec, stats.NewRNG(11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := p1.MarshalIndent()
+	e2, _ := p2.MarshalIndent()
+	if !bytes.Equal(e1, e2) {
+		t.Fatalf("same seed generated different plans:\n%s\nvs\n%s", e1, e2)
+	}
+	for _, ev := range p1.Events {
+		if ev.Kind == BankFail && ev.Bank < 8 {
+			t.Fatalf("CenterOnly generated Local-bank failure: %+v", ev)
+		}
+	}
+}
+
+func TestGenerateRejectsOverdrawnSpecs(t *testing.T) {
+	rng := stats.NewRNG(1, 2)
+	if _, err := Generate(GenSpec{BankFailures: 16}, rng); err == nil {
+		t.Fatal("failing every bank accepted")
+	}
+	if _, err := Generate(GenSpec{BankFailures: 8, CenterOnly: true}, rng); err == nil {
+		t.Fatal("failing every Center bank accepted")
+	}
+	if _, err := Generate(GenSpec{NoiseAmplitude: 2}, rng); err == nil {
+		t.Fatal("amplitude 2 accepted")
+	}
+}
+
+// FuzzPlanDecoder asserts that no input can make the decoder panic and that
+// accepted plans re-encode stably and compose snapshots safely.
+func FuzzPlanDecoder(f *testing.F) {
+	f.Add([]byte(`{"seed":1,"events":[{"epoch":0,"kind":"bank-fail","bank":9}]}`))
+	f.Add([]byte(`{"seed":2,"events":[{"epoch":1,"kind":"curve-noise","amplitude":0.2,"duration":3}]}`))
+	f.Add([]byte(`{"events":[{"epoch":0,"kind":"dram-spike","extra_cycles":100}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted plans must survive everything the simulator does with
+		// them: snapshot composition, RNG derivation, stable re-encoding.
+		for e := 0; e < 4; e++ {
+			snap := p.At(e)
+			if snap.Failed.Count() == nuca.NumBanks {
+				t.Fatalf("validated plan fails all banks at epoch %d", e)
+			}
+			p.RNG(e, e%8).Float64()
+			p.FailedAt(e)
+			p.ActiveAt(e)
+			p.StartingAt(e)
+		}
+		_ = p.String()
+		enc1, err := p.MarshalIndent()
+		if err != nil {
+			t.Fatalf("accepted plan does not encode: %v", err)
+		}
+		q, err := Parse(enc1)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		enc2, err := q.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("unstable encoding:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

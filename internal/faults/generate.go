@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"fmt"
+
+	"bankaware/internal/nuca"
+	"bankaware/internal/stats"
+)
+
+// GenSpec parametrises a random fault campaign. Zero fields inject nothing
+// of that class, so the zero spec generates an empty plan.
+type GenSpec struct {
+	// BankFailures is how many distinct banks to fail.
+	BankFailures int
+	// CenterOnly restricts failures to Center banks (Local-bank failures
+	// force degraded pairing and can make workloads unservable when both
+	// ends of the chain fail; Center failures are always absorbable).
+	CenterOnly bool
+	// SlowBanks is how many distinct banks to latency-degrade.
+	SlowBanks int
+	// SlowExtraCycles is the added latency per degraded bank (default 20).
+	SlowExtraCycles int64
+	// NoiseAmplitude, when positive, schedules profiler noise of this
+	// amplitude over the whole run.
+	NoiseAmplitude float64
+	// DRAMSpikes is how many latency spikes to scatter over the epochs.
+	DRAMSpikes int
+	// DRAMExtraCycles is the added latency per spike (default 100).
+	DRAMExtraCycles int64
+	// SpikeDuration is each spike's length in epochs (default 1).
+	SpikeDuration int
+	// Epochs is the horizon events are scattered over; zero puts
+	// everything at epoch 0.
+	Epochs int
+}
+
+// Generate derives a fault plan from the spec and the RNG. All draws come
+// from rng, so a campaign seeded with stats.RNG splitting stays
+// byte-reproducible: same parent seed, same plan. The returned plan's Seed
+// (driving per-epoch noise draws) is itself drawn from rng.
+func Generate(spec GenSpec, rng *stats.RNG) (*Plan, error) {
+	p := &Plan{Seed: rng.Uint64()}
+	epoch := func() int {
+		if spec.Epochs <= 0 {
+			return 0
+		}
+		return rng.IntN(spec.Epochs)
+	}
+
+	lo, n := 0, nuca.NumBanks
+	if spec.CenterOnly {
+		lo, n = nuca.NumCores, nuca.NumBanks-nuca.NumCores
+	}
+	if spec.BankFailures > 0 {
+		if spec.BankFailures >= n {
+			return nil, fmt.Errorf("faults: cannot fail %d of %d candidate banks", spec.BankFailures, n)
+		}
+		for _, i := range rng.Perm(n)[:spec.BankFailures] {
+			p.Events = append(p.Events, Event{Epoch: epoch(), Kind: BankFail, Bank: lo + i})
+		}
+	}
+	if spec.SlowBanks > 0 {
+		if spec.SlowBanks > nuca.NumBanks {
+			return nil, fmt.Errorf("faults: cannot degrade %d of %d banks", spec.SlowBanks, nuca.NumBanks)
+		}
+		extra := spec.SlowExtraCycles
+		if extra <= 0 {
+			extra = 20
+		}
+		for _, b := range rng.Perm(nuca.NumBanks)[:spec.SlowBanks] {
+			p.Events = append(p.Events, Event{Epoch: epoch(), Kind: BankSlow, Bank: b, ExtraCycles: extra})
+		}
+	}
+	if spec.NoiseAmplitude > 0 {
+		if spec.NoiseAmplitude > 1 {
+			return nil, fmt.Errorf("faults: noise amplitude %v outside (0,1]", spec.NoiseAmplitude)
+		}
+		p.Events = append(p.Events, Event{Epoch: 0, Kind: CurveNoise, Amplitude: spec.NoiseAmplitude})
+	}
+	if spec.DRAMSpikes > 0 {
+		extra := spec.DRAMExtraCycles
+		if extra <= 0 {
+			extra = 100
+		}
+		dur := spec.SpikeDuration
+		if dur <= 0 {
+			dur = 1
+		}
+		for i := 0; i < spec.DRAMSpikes; i++ {
+			p.Events = append(p.Events, Event{Epoch: epoch(), Kind: DRAMSpike, ExtraCycles: extra, Duration: dur})
+		}
+	}
+	sortEvents(p.Events)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -52,6 +52,7 @@ func (s Stats) AvgQueueCycles() float64 {
 type Channel struct {
 	cfg      Config
 	nextFree int64
+	extra    int64
 	stats    Stats
 }
 
@@ -75,6 +76,16 @@ func MustChannel(cfg Config) *Channel {
 // Config returns the channel parameters.
 func (c *Channel) Config() Config { return c.cfg }
 
+// SetExtraLatency adds cycles to every subsequent request's latency — the
+// fault layer's DRAM spike model (refresh storms, controller throttling).
+// Negative values are clamped to zero; zero restores nominal latency.
+func (c *Channel) SetExtraLatency(cycles int64) {
+	if cycles < 0 {
+		cycles = 0
+	}
+	c.extra = cycles
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Channel) Stats() Stats { return c.stats }
 
@@ -91,7 +102,7 @@ func (c *Channel) Request(now int64) int64 {
 	}
 	c.nextFree = start + c.cfg.ServiceCycles
 	c.stats.BusyCycles += uint64(c.cfg.ServiceCycles)
-	return start + c.cfg.LatencyCycles
+	return start + c.cfg.LatencyCycles + c.extra
 }
 
 // Writeback issues an eviction write at cycle `now`. Writebacks consume

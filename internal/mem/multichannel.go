@@ -65,6 +65,14 @@ func (m *Memory) Writeback(addr uint64, now int64) {
 	m.channelFor(addr).Writeback(now)
 }
 
+// SetExtraLatency applies an added per-request latency to every channel (the
+// fault layer's DRAM spike model). Zero restores nominal latency.
+func (m *Memory) SetExtraLatency(cycles int64) {
+	for _, ch := range m.channels {
+		ch.SetExtraLatency(cycles)
+	}
+}
+
 // Stats aggregates all channels' counters.
 func (m *Memory) Stats() Stats {
 	var s Stats

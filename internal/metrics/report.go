@@ -4,8 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
+
+	"bankaware/internal/atomicio"
 )
 
 // Schema identifies the run-report JSON layout. Any structural change to
@@ -88,6 +89,10 @@ type RunReport struct {
 	EpochSeries []EpochSample `json:"epoch_series,omitempty"`
 	// PartitionEvents records every allocation change the policy made.
 	PartitionEvents []PartitionEvent `json:"partition_events,omitempty"`
+	// FaultEvents records every injected fault that became active during
+	// the observation window (empty on healthy runs — the field is
+	// additive, so faultless reports keep their v1 bytes).
+	FaultEvents []FaultEvent `json:"fault_events,omitempty"`
 	// Metrics is the registry snapshot at report time.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -158,14 +163,29 @@ type PartitionEvent struct {
 	NewBanks []int  `json:"new_banks,omitempty"`
 }
 
+// FaultEvent records one injected fault becoming active at a repartition
+// boundary: which epoch window, when, and the fault's parameters. Events
+// already active when the measurement window opens are re-logged at epoch 0
+// so a report always shows the faults its numbers ran under.
+type FaultEvent struct {
+	Epoch       int     `json:"epoch"`
+	Cycle       int64   `json:"cycle"`
+	Kind        string  `json:"kind"`
+	Bank        int     `json:"bank,omitempty"`
+	ExtraCycles int64   `json:"extra_cycles,omitempty"`
+	Amplitude   float64 `json:"amplitude,omitempty"`
+	Duration    int     `json:"duration,omitempty"`
+}
+
 // Recorder accumulates the observation stream of one simulation: the
-// registry the components registered into, the epoch samples and the
-// partition events. The simulator owns the sampling cadence; Recorder is
-// plain storage.
+// registry the components registered into, the epoch samples, the partition
+// events and the fault events. The simulator owns the sampling cadence;
+// Recorder is plain storage.
 type Recorder struct {
 	Registry *Registry
 	Samples  []EpochSample
 	Events   []PartitionEvent
+	Faults   []FaultEvent
 }
 
 // NewRecorder returns a recorder with a fresh registry.
@@ -178,6 +198,7 @@ func NewRecorder() *Recorder {
 func (r *Recorder) ResetSeries() {
 	r.Samples = r.Samples[:0]
 	r.Events = r.Events[:0]
+	r.Faults = r.Faults[:0]
 }
 
 // WriteJSON writes the report as stable, indented JSON with a trailing
@@ -193,17 +214,12 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// WriteFile writes the report to path via WriteJSON.
+// WriteFile writes the report to path via WriteJSON, atomically: the bytes
+// land in a temporary file that is renamed into place, so a crashed or
+// killed writer never leaves a truncated report and concurrent readers see
+// either the old version or the new one.
 func (r *Report) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := r.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, r.WriteJSON)
 }
 
 // ReadReport parses a report written by WriteJSON and checks its schema

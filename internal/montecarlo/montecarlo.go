@@ -12,8 +12,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"bankaware/internal/core"
+	"bankaware/internal/faults"
+	"bankaware/internal/msa"
 	"bankaware/internal/nuca"
 	"bankaware/internal/runner"
 	"bankaware/internal/stats"
@@ -63,12 +66,29 @@ type Results struct {
 }
 
 // Options tunes how the experiment executes without affecting what it
-// computes: results are bit-identical for every worker count.
+// computes: results are bit-identical for every worker count, with or
+// without a journal, resumed or not.
 type Options struct {
 	// Workers bounds the fan-out; zero selects GOMAXPROCS.
 	Workers int
 	// Progress receives engine events for live progress reporting.
 	Progress runner.ProgressFunc
+	// Retries is the per-trial retry budget (see runner.Config.Retries).
+	Retries int
+	// RetryBackoff is the base delay between retry attempts.
+	RetryBackoff time.Duration
+	// JobTimeout bounds each trial attempt (see runner.Config.JobTimeout).
+	JobTimeout time.Duration
+	// Journal checkpoints completed trials so a killed campaign resumes
+	// where it stopped; a resumed campaign's Results are byte-identical to
+	// an uninterrupted run with the same Config.
+	Journal *runner.Journal
+	// Faults degrades every trial with the plan's epoch-0 state: failed
+	// banks shrink the capacity all three allocators distribute (the even
+	// split included), and curve noise perturbs the curves the dynamic
+	// allocators see — projected misses are still evaluated on the true
+	// curves, so the ratios measure what imperfect profiling costs.
+	Faults *faults.Plan
 }
 
 // Run executes the experiment serially-equivalent on all available cores.
@@ -127,12 +147,22 @@ func RunContext(ctx context.Context, cfg Config, opt Options) (*Results, error) 
 		}
 	}
 
+	snap := opt.Faults.At(0)
 	equalWays := make([]int, nuca.NumCores)
 	for i := range equalWays {
-		equalWays[i] = cfg.Unrestricted.TotalWays / nuca.NumCores
+		if snap.Failed != 0 {
+			equalWays[i] = snap.Failed.SurvivingWays() / nuca.NumCores
+		} else {
+			equalWays[i] = cfg.Unrestricted.TotalWays / nuca.NumCores
+		}
 	}
 
-	trials, err := runner.Map(ctx, runner.Config{Workers: opt.Workers, Progress: opt.Progress},
+	rcfg := runner.Config{
+		Workers: opt.Workers, Progress: opt.Progress,
+		Retries: opt.Retries, RetryBackoff: opt.RetryBackoff,
+		JobTimeout: opt.JobTimeout, Journal: opt.Journal,
+	}
+	trials, err := runner.Map(ctx, rcfg,
 		cfg.Trials, func(_ context.Context, t int) (Trial, error) {
 			mix := make([]core.MissCurve, nuca.NumCores)
 			var tr Trial
@@ -140,16 +170,27 @@ func RunContext(ctx context.Context, cfg Config, opt Options) (*Results, error) 
 				mix[c] = curves[k]
 				tr.Workloads[c] = pool[k].Name
 			}
+			// The allocators decide on `seen` (possibly noisy) curves; the
+			// projected misses are evaluated on the true ones. The noise RNG
+			// derives from (plan seed, trial, core) so resumed or reordered
+			// campaigns draw identical perturbations.
+			seen := mix
+			if snap.NoiseAmplitude > 0 {
+				seen = make([]core.MissCurve, nuca.NumCores)
+				for c := range mix {
+					seen[c] = core.MissCurve(msa.NoisyCurve(mix[c], snap.NoiseAmplitude, opt.Faults.RNG(t, c)))
+				}
+			}
 			equalM, err := core.ProjectTotalMisses(mix, equalWays)
 			if err != nil {
 				return Trial{}, err
 			}
-			ua, err := core.Unrestricted(mix, cfg.Unrestricted)
+			ua, err := core.UnrestrictedDegraded(seen, cfg.Unrestricted, snap.Failed)
 			if err != nil {
 				return Trial{}, err
 			}
 			uM, _ := core.ProjectTotalMisses(mix, ua)
-			ba, err := core.BankAware(mix, cfg.BankAware)
+			ba, err := core.BankAwareDegraded(seen, cfg.BankAware, nil, snap.Failed)
 			if err != nil {
 				return Trial{}, err
 			}

@@ -47,8 +47,8 @@ func (c Config) Validate() error {
 	if c.MaxWays < 1 || c.MaxWays > 1024 {
 		return fmt.Errorf("msa: max ways %d outside [1,1024]", c.MaxWays)
 	}
-	if c.SampleLog2 < 0 || 1<<c.SampleLog2 > c.Sets {
-		return fmt.Errorf("msa: sample rate 1-in-%d exceeds set count %d", 1<<c.SampleLog2, c.Sets)
+	if c.SampleLog2 < 0 || c.SampleLog2 > 30 || 1<<c.SampleLog2 > c.Sets {
+		return fmt.Errorf("msa: sample rate log2 %d outside [0,30] or exceeds set count %d", c.SampleLog2, c.Sets)
 	}
 	if c.PartialTagBits < 0 || c.PartialTagBits > 64 {
 		return fmt.Errorf("msa: partial tag bits %d outside [0,64]", c.PartialTagBits)

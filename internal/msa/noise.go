@@ -1,0 +1,31 @@
+package msa
+
+import "bankaware/internal/stats"
+
+// NoisyCurve returns a perturbed copy of a miss curve: every point is scaled
+// by an independent factor drawn uniformly from [1-amp, 1+amp], modelling an
+// imperfect hardware profiler (aliasing partial tags, under-sampled sets).
+// The result is clamped non-negative and repaired back-to-front to stay
+// non-increasing, since a miss curve that grows with extra ways would
+// violate the LRU inclusion property the allocators rely on. amp <= 0
+// returns an unperturbed copy.
+func NoisyCurve(curve []float64, amp float64, rng *stats.RNG) []float64 {
+	out := make([]float64, len(curve))
+	copy(out, curve)
+	if amp <= 0 || rng == nil {
+		return out
+	}
+	for i, v := range out {
+		f := 1 + amp*(2*rng.Float64()-1)
+		if f < 0 {
+			f = 0
+		}
+		out[i] = v * f
+	}
+	for i := len(out) - 2; i >= 0; i-- {
+		if out[i] < out[i+1] {
+			out[i] = out[i+1]
+		}
+	}
+	return out
+}

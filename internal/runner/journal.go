@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is a lightweight checkpoint for one fan-out: every completed
+// job's index and JSON-encoded result, appended line by line to a file. A
+// campaign killed mid-run reopens the journal and Map restores the recorded
+// jobs instead of recomputing them; since results are stored as JSON and
+// Go's encoder round-trips float64 exactly, a resumed campaign emits
+// reports byte-identical to an uninterrupted one.
+//
+// The format is JSON lines: {"job":17,"result":{...}}. Loading tolerates a
+// truncated final line (the crash may have interrupted a write mid-record);
+// the affected job is simply recomputed. Result types must round-trip
+// through encoding/json — exported fields only.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[int]json.RawMessage
+}
+
+type journalRecord struct {
+	Job    int             `json:"job"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenJournal opens (or creates) the checkpoint file at path and loads the
+// completed-job records already in it.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, done: make(map[int]json.RawMessage)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// Truncated or corrupt tail record: stop here, the job will be
+			// recomputed and re-appended.
+			break
+		}
+		j.done[rec.Job] = rec.Result
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		f.Close()
+		return nil, fmt.Errorf("runner: reading journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Len returns how many completed jobs the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close closes the underlying file. Records already appended stay on disk.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Restore decodes job's recorded result into out. It returns false when the
+// journal has no record for the job; an error means the record exists but
+// does not decode into out (a schema change — the caller recomputes).
+func (j *Journal) Restore(job int, out any) (bool, error) {
+	j.mu.Lock()
+	raw, ok := j.done[job]
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("runner: journal record for job %d: %w", job, err)
+	}
+	return true, nil
+}
+
+// Record appends job's result to the journal. The line is written and
+// synced before Record returns, so a crash immediately after cannot lose
+// the job.
+func (j *Journal) Record(job int, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("runner: encoding journal record for job %d: %w", job, err)
+	}
+	line, err := json.Marshal(journalRecord{Job: job, Result: raw})
+	if err != nil {
+		return fmt.Errorf("runner: encoding journal record for job %d: %w", job, err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("runner: appending journal record for job %d: %w", job, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: syncing journal: %w", err)
+	}
+	j.done[job] = raw
+	return nil
+}

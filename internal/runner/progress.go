@@ -18,6 +18,9 @@ const (
 	JobDone
 	// JobFailed fires when a job returns an error or panics.
 	JobFailed
+	// JobRetried fires when a failed attempt is about to be retried (the
+	// job is still running; Done/Failed counters are unchanged).
+	JobRetried
 )
 
 // String renders the kind for logs.
@@ -29,6 +32,8 @@ func (k Kind) String() string {
 		return "done"
 	case JobFailed:
 		return "failed"
+	case JobRetried:
+		return "retried"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -46,6 +51,8 @@ type Progress struct {
 	// Started, Done and Failed count jobs in each state after this event
 	// (Done excludes failures).
 	Started, Done, Failed int
+	// Retried counts retry attempts across all jobs so far.
+	Retried int
 	// Elapsed is the job's wall time; zero for JobStarted.
 	Elapsed time.Duration
 	// Err is the job's error for JobFailed events.
@@ -61,9 +68,9 @@ type ProgressFunc func(Progress)
 // tracker owns the counters and fans events out to the hook. Callers hold
 // the engine mutex, so field updates and hook calls are already serialised.
 type tracker struct {
-	total                 int
-	startedN, doneN, fail int
-	progress              ProgressFunc
+	total                          int
+	startedN, doneN, fail, retries int
+	progress                       ProgressFunc
 }
 
 func (t *tracker) emit(k Kind, job int, elapsed time.Duration, err error) {
@@ -72,7 +79,7 @@ func (t *tracker) emit(k Kind, job int, elapsed time.Duration, err error) {
 	}
 	t.progress(Progress{
 		Kind: k, Job: job, Total: t.total,
-		Started: t.startedN, Done: t.doneN, Failed: t.fail,
+		Started: t.startedN, Done: t.doneN, Failed: t.fail, Retried: t.retries,
 		Elapsed: elapsed, Err: err,
 	})
 }
@@ -92,6 +99,11 @@ func (t *tracker) failed(job int, elapsed time.Duration, err error) {
 	t.emit(JobFailed, job, elapsed, err)
 }
 
+func (t *tracker) retried(job int, elapsed time.Duration, err error) {
+	t.retries++
+	t.emit(JobRetried, job, elapsed, err)
+}
+
 // CountInto returns a ProgressFunc that counts engine activity into reg
 // ("runner.jobs_started/done/failed") and then forwards to next (which may
 // be nil). The registry can be read concurrently — e.g. served by
@@ -100,6 +112,7 @@ func CountInto(reg *metrics.Registry, next ProgressFunc) ProgressFunc {
 	started := reg.Counter("runner.jobs_started")
 	done := reg.Counter("runner.jobs_done")
 	failed := reg.Counter("runner.jobs_failed")
+	retried := reg.Counter("runner.jobs_retried")
 	return func(p Progress) {
 		switch p.Kind {
 		case JobStarted:
@@ -108,6 +121,8 @@ func CountInto(reg *metrics.Registry, next ProgressFunc) ProgressFunc {
 			done.Inc()
 		case JobFailed:
 			failed.Inc()
+		case JobRetried:
+			retried.Inc()
 		}
 		if next != nil {
 			next(p)
@@ -123,7 +138,7 @@ func Printer(w io.Writer, label string) ProgressFunc {
 	start := time.Now()
 	var lastPrint time.Time
 	return func(p Progress) {
-		if p.Kind == JobStarted {
+		if p.Kind == JobStarted || p.Kind == JobRetried {
 			return
 		}
 		now := time.Now()

@@ -1,0 +1,264 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetriesRecoverFlakyJobs(t *testing.T) {
+	var attempts [4]int32
+	res, err := Map(context.Background(), Config{Workers: 2, Retries: 2}, 4,
+		func(_ context.Context, job int) (int, error) {
+			n := atomic.AddInt32(&attempts[job], 1)
+			if job == 2 && n < 3 { // fails twice, succeeds on the last attempt
+				return 0, fmt.Errorf("transient %d", n)
+			}
+			return job * 10, nil
+		})
+	if err != nil {
+		t.Fatalf("campaign failed despite retry budget: %v", err)
+	}
+	if res[2] != 20 {
+		t.Fatalf("job 2 result %d, want 20", res[2])
+	}
+	if got := atomic.LoadInt32(&attempts[2]); got != 3 {
+		t.Fatalf("job 2 ran %d attempts, want 3", got)
+	}
+}
+
+func TestRetriesExhaustedFailsCampaign(t *testing.T) {
+	sentinel := errors.New("permanent")
+	var attempts int32
+	_, err := Map(context.Background(), Config{Workers: 1, Retries: 3}, 1,
+		func(_ context.Context, _ int) (int, error) {
+			atomic.AddInt32(&attempts, 1)
+			return 0, sentinel
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 4 { // 1 + 3 retries
+		t.Fatalf("ran %d attempts, want 4", got)
+	}
+}
+
+func TestRetriedProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var retried int
+	_, err := Map(context.Background(), Config{
+		Workers: 1, Retries: 2,
+		Progress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Kind == JobRetried {
+				retried++
+				if p.Err == nil {
+					t.Error("JobRetried event without the attempt's error")
+				}
+			}
+		},
+	}, 1, func(_ context.Context, _ int) (int, error) {
+		mu.Lock()
+		n := retried
+		mu.Unlock()
+		if n < 2 {
+			return 0, errors.New("flaky")
+		}
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retried != 2 {
+		t.Fatalf("observed %d JobRetried events, want 2", retried)
+	}
+}
+
+func TestCancellationIsNotRetried(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts int32
+	_, err := Map(ctx, Config{Workers: 1, Retries: 5}, 1,
+		func(_ context.Context, _ int) (int, error) {
+			atomic.AddInt32(&attempts, 1)
+			cancel()
+			return 0, context.Canceled
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 1 {
+		t.Fatalf("cancelled job ran %d attempts, want 1", got)
+	}
+}
+
+func TestJobTimeoutBoundsAttempts(t *testing.T) {
+	var attempts int32
+	start := time.Now()
+	_, err := Map(context.Background(), Config{Workers: 1, JobTimeout: 20 * time.Millisecond, Retries: 1}, 1,
+		func(ctx context.Context, _ int) (int, error) {
+			atomic.AddInt32(&attempts, 1)
+			<-ctx.Done() // a hung job, bounded only by the per-job deadline
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 2 { // timeout is retried like any failure
+		t.Fatalf("ran %d attempts, want 2", got)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("two 20ms-bounded attempts took %v", e)
+	}
+}
+
+func TestBackoffAbortsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts int32
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, Config{Workers: 1, Retries: 10, RetryBackoff: time.Hour}, 1,
+			func(_ context.Context, _ int) (int, error) {
+				atomic.AddInt32(&attempts, 1)
+				return 0, errors.New("always")
+			})
+		done <- err
+	}()
+	for atomic.LoadInt32(&attempts) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // the worker is asleep in the hour-long backoff
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("campaign succeeded despite failing job")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backoff ignored cancellation")
+	}
+	if got := atomic.LoadInt32(&attempts); got != 1 {
+		t.Fatalf("ran %d attempts, want 1", got)
+	}
+}
+
+type trialResult struct {
+	Job   int     `json:"job"`
+	Value float64 `json:"value"`
+}
+
+func TestJournalRestoresAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run: jobs 0 and 2 complete, the campaign dies before job 1.
+	for _, job := range []int{0, 2} {
+		if err := j.Record(job, trialResult{Job: job, Value: 0.1 * float64(job)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("reopened journal holds %d records, want 2", j2.Len())
+	}
+	var computed int32
+	res, err := Map(context.Background(), Config{Workers: 2, Journal: j2}, 3,
+		func(_ context.Context, job int) (trialResult, error) {
+			atomic.AddInt32(&computed, 1)
+			return trialResult{Job: job, Value: 0.1 * float64(job)}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&computed); got != 1 {
+		t.Fatalf("recomputed %d jobs, want only the missing one", got)
+	}
+	for job, want := range []float64{0, 0.1, 0.2} {
+		if res[job].Job != job || res[job].Value != want {
+			t.Fatalf("job %d restored as %+v", job, res[job])
+		}
+	}
+}
+
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "truncated.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, trialResult{Job: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(1, trialResult{Job: 1, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Chop the file mid-record, as a crash during the final append would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("truncated journal rejected: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("truncated journal holds %d records, want 1", j2.Len())
+	}
+	var res trialResult
+	if ok, err := j2.Restore(0, &res); !ok || err != nil || res.Value != 1 {
+		t.Fatalf("intact record lost: ok=%v err=%v res=%+v", ok, err, res)
+	}
+	if ok, _ := j2.Restore(1, &res); ok {
+		t.Fatal("truncated record restored")
+	}
+	// The affected job is recomputed and re-appended cleanly.
+	if err := j2.Record(1, trialResult{Job: 1, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalSchemaChangeRecomputes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schema.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record(0, "a string result"); err != nil {
+		t.Fatal(err)
+	}
+	var computed int32
+	res, err := Map(context.Background(), Config{Workers: 1, Journal: j}, 1,
+		func(_ context.Context, job int) (trialResult, error) {
+			atomic.AddInt32(&computed, 1)
+			return trialResult{Job: job, Value: 9}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed != 1 || res[0].Value != 9 {
+		t.Fatalf("mismatched record not recomputed: computed=%d res=%+v", computed, res[0])
+	}
+}

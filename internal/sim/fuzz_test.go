@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"bankaware/internal/core"
+	"bankaware/internal/faults"
+)
+
+// FuzzConfigValidate is the hardening contract for Config.Validate: any
+// configuration Validate accepts must build (New) and run a short burst
+// without panicking. The harness bounds the cache geometry — Validate's own
+// size caps admit machines far larger than a fuzz worker should allocate —
+// but leaves every other field raw so NaNs, negatives, overflow-bait shifts
+// and broken fault plans all reach the validator.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(int16(128), int16(128), int16(32), 4, 128, 16, 0.0, int64(260), int64(4), int64(1500), int8(0), uint8(0), int64(0), 0.0)
+	f.Add(int16(64), int16(64), int16(16), 1, 1, 1, 5.0, int64(0), int64(1), int64(1), int8(1), uint8(9), int64(20), 0.2)
+	f.Add(int16(-8), int16(8), int16(0), 0, 0, 0, math.NaN(), int64(-1), int64(0), int64(0), int8(-1), uint8(40), int64(-5), 2.0)
+	f.Fuzz(func(t *testing.T, bankSets, profSets, l1Sets int16,
+		width, rob, mshrs int, mpki float64,
+		memLat, memSvc, epoch int64,
+		evEpoch int8, evBank uint8, evExtra int64, evAmp float64) {
+
+		cfg := testConfig()
+		// Keep geometry small enough to instantiate (each accepted set is
+		// materialised as lines in New); everything else is raw input.
+		cfg.BankSets = int(bankSets) % 8192
+		cfg.Profiler.Sets = int(profSets) % 8192
+		cfg.L1.Sets = int(l1Sets) % 8192
+		cfg.CPU.Width = width
+		cfg.CPU.ROBEntries = rob
+		cfg.CPU.MSHRs = mshrs
+		cfg.CPU.BranchMPKI = mpki
+		cfg.Mem.LatencyCycles = memLat
+		cfg.Mem.ServiceCycles = memSvc
+		cfg.EpochCycles = epoch
+		cfg.Faults = &faults.Plan{Seed: 1, Events: []faults.Event{
+			{Epoch: int(evEpoch), Kind: faults.BankSlow, Bank: int(evBank), ExtraCycles: evExtra},
+			{Epoch: int(evEpoch) + 1, Kind: faults.CurveNoise, Amplitude: evAmp},
+		}}
+
+		if err := cfg.Validate(); err != nil {
+			return // rejection is always a legal verdict
+		}
+		sys, err := New(cfg, core.NewBankAwarePolicy(), specsFor(mixedSet...))
+		if err != nil {
+			// New may still refuse (e.g. unservable degraded state), but a
+			// validated config must never panic.
+			return
+		}
+		if err := sys.Run(200); err != nil {
+			t.Fatalf("validated config failed to run: %v", err)
+		}
+	})
+}

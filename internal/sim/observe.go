@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bankaware/internal/core"
+	"bankaware/internal/faults"
 	"bankaware/internal/metrics"
 	"bankaware/internal/nuca"
 )
@@ -39,6 +40,7 @@ func (s *System) EnableMetrics(rec *metrics.Recorder) *metrics.Recorder {
 	s.missLat = reg.Histogram("l2.miss_latency", missLatencyBounds)
 	s.seedWindowBaselines()
 	s.recordAllocEvents(s.alloc, nil, 0, s.maxNow())
+	s.recordFaultEvents(s.cfg.Faults.ActiveAt(s.epochs-1), 0, s.maxNow())
 	return rec
 }
 
@@ -132,6 +134,23 @@ func (s *System) recordAllocEvents(next, old *core.Allocation, epoch int, cycle 
 	}
 }
 
+// recordFaultEvents logs injected faults into the recorder under the given
+// epoch-window index (0 when re-logging the active set at the start of a
+// measurement window).
+func (s *System) recordFaultEvents(evs []faults.Event, epoch int, cycle int64) {
+	for _, ev := range evs {
+		s.rec.Faults = append(s.rec.Faults, metrics.FaultEvent{
+			Epoch:       epoch,
+			Cycle:       cycle,
+			Kind:        string(ev.Kind),
+			Bank:        ev.Bank,
+			ExtraCycles: ev.ExtraCycles,
+			Amplitude:   ev.Amplitude,
+			Duration:    ev.Duration,
+		})
+	}
+}
+
 // RunReport exports the measurement window as a run report: the Result
 // totals plus, when EnableMetrics is attached, the epoch time series, the
 // partition-event log, and a registry snapshot. It flushes the final
@@ -177,6 +196,7 @@ func (s *System) RunReport(name string, workloads []string) metrics.RunReport {
 		s.sampleWindow(s.maxNow())
 		rr.EpochSeries = append([]metrics.EpochSample(nil), s.rec.Samples...)
 		rr.PartitionEvents = append([]metrics.PartitionEvent(nil), s.rec.Events...)
+		rr.FaultEvents = append([]metrics.FaultEvent(nil), s.rec.Faults...)
 		rr.Metrics = s.rec.Registry.Snapshot()
 	}
 	return rr

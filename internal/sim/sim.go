@@ -21,6 +21,7 @@ import (
 	"bankaware/internal/coherence"
 	"bankaware/internal/core"
 	"bankaware/internal/cpu"
+	"bankaware/internal/faults"
 	"bankaware/internal/interconnect"
 	"bankaware/internal/mem"
 	"bankaware/internal/metrics"
@@ -79,6 +80,12 @@ type Config struct {
 	InvalidationCycles int64
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Faults is an optional fault-injection plan, consumed at repartition
+	// boundaries: failed banks are removed from service (contents lost, the
+	// policy re-partitions the survivors), slow banks and DRAM spikes add
+	// latency, and profiler faults perturb the curves the policy sees. Nil
+	// simulates the healthy machine.
+	Faults *faults.Plan
 }
 
 // DefaultConfig returns the paper's baseline machine.
@@ -103,6 +110,14 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if err := (cache.Config{Sets: c.BankSets, Ways: nuca.WaysPerBank, Replacement: c.L2Replacement}).Validate(); err != nil {
 		return fmt.Errorf("sim: bad bank geometry: %w", err)
+	}
+	// Cache geometries are power-of-two checked above/below; also bound
+	// them so a corrupt config cannot demand absurd allocations.
+	if c.BankSets > 1<<20 {
+		return fmt.Errorf("sim: bank sets %d exceeds supported maximum %d", c.BankSets, 1<<20)
+	}
+	if c.L1.Sets > 1<<20 {
+		return fmt.Errorf("sim: L1 sets %d exceeds supported maximum %d", c.L1.Sets, 1<<20)
 	}
 	if c.Profiler.Sets != c.BankSets {
 		return fmt.Errorf("sim: profiler sets %d must match bank sets %d (both view the 128-way-equivalent L2)",
@@ -129,6 +144,9 @@ func (c Config) Validate() error {
 	if c.BankBusyCycles < 0 || c.FlitCycles < 0 || c.ReqFlits < 0 || c.DataFlits < 0 || c.InvalidationCycles < 0 {
 		return fmt.Errorf("sim: negative latency parameter")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -150,6 +168,16 @@ type System struct {
 	coreBanks [nuca.NumCores][]int // per-core placement ring (bank repeated per owned way)
 	rr        [nuca.NumCores]int
 	bankFree  [nuca.NumBanks]int64
+
+	// Active fault state, refreshed at each repartition boundary from
+	// cfg.Faults: the added per-bank access latency, the failed set
+	// installed last, the surviving-bank list the hashed baseline maps
+	// onto, and the last curves the policy saw (the stale-profiler model
+	// replays them).
+	bankExtra  [nuca.NumBanks]int64
+	prevFailed nuca.BankSet
+	survBanks  []int
+	lastCurves []core.MissCurve
 
 	nextEpoch int64
 	nextCheck int64
@@ -289,25 +317,65 @@ func (s *System) DRAMStats() mem.Stats { return s.dram.Stats() }
 // closing epoch window and records the allocation diff before the new
 // masks take effect.
 func (s *System) repartition(now int64) error {
+	epoch := s.epochs
+	snap := s.cfg.Faults.At(epoch)
+	// A newly failed bank loses its contents; the inclusive hierarchy
+	// back-invalidates every upper-level copy, exactly as on an eviction.
+	if newly := snap.Failed &^ s.prevFailed; newly != 0 {
+		for _, b := range newly.Banks() {
+			for _, addr := range s.banks[b].Clear() {
+				invalidated, _ := s.dir.OnL2Evict(addr)
+				for _, p := range invalidated {
+					s.l1s[p].Invalidate(addr)
+				}
+			}
+		}
+	}
 	curves := make([]core.MissCurve, nuca.NumCores)
-	for c := range curves {
-		curves[c] = core.MissCurve(s.profs[c].MissCurve())
+	if snap.Stale && s.lastCurves != nil {
+		// Stuck profiler: the policy decides on the previous epoch's view.
+		copy(curves, s.lastCurves)
+	} else {
+		for c := range curves {
+			mc := s.profs[c].MissCurve()
+			if snap.NoiseAmplitude > 0 {
+				mc = msa.NoisyCurve(mc, snap.NoiseAmplitude, s.cfg.Faults.RNG(epoch, c))
+			}
+			curves[c] = core.MissCurve(mc)
+		}
+		s.lastCurves = curves
 	}
 	if fp, ok := s.policy.(core.FeedbackPolicy); ok {
 		fp.SetFeedback(s.missCostWeights())
 	}
-	alloc, err := s.policy.Allocate(curves)
+	var alloc *core.Allocation
+	var err error
+	if snap.Failed != 0 {
+		dp, ok := s.policy.(core.DegradedPolicy)
+		if !ok {
+			return fmt.Errorf("sim: policy %s cannot re-partition around failed banks %v",
+				s.policy.Name(), snap.Failed)
+		}
+		alloc, err = dp.AllocateDegraded(curves, snap.Failed)
+	} else {
+		alloc, err = s.policy.Allocate(curves)
+	}
 	if err != nil {
 		return fmt.Errorf("sim: %s allocation failed: %w", s.policy.Name(), err)
+	}
+	if alloc.Failed != snap.Failed {
+		return fmt.Errorf("sim: %s allocation marks banks %v failed, fault plan says %v",
+			s.policy.Name(), alloc.Failed, snap.Failed)
 	}
 	if err := alloc.Validate(); err != nil {
 		return fmt.Errorf("sim: %s produced invalid allocation: %w", s.policy.Name(), err)
 	}
 	if s.rec != nil && s.alloc != nil {
 		// Close the epoch window under the outgoing allocation, then log
-		// what the policy changed.
+		// what the policy changed and which faults opened here.
 		s.sampleWindow(now)
 		s.recordAllocEvents(alloc, s.alloc, len(s.rec.Samples), now)
+		s.recordFaultEvents(s.cfg.Faults.StartingAt(epoch), len(s.rec.Samples), now)
 	}
 	s.alloc = alloc
 	for b := range s.banks {
@@ -329,6 +397,18 @@ func (s *System) repartition(now int64) error {
 		}
 		s.coreBanks[c] = ring
 	}
+	// Latency faults apply until the next boundary recomputes them.
+	s.bankExtra = snap.BankExtra
+	s.dram.SetExtraLatency(snap.DRAMExtra)
+	if snap.Failed != s.prevFailed || s.survBanks == nil {
+		s.survBanks = s.survBanks[:0]
+		for b := 0; b < nuca.NumBanks; b++ {
+			if !snap.Failed.Has(b) {
+				s.survBanks = append(s.survBanks, b)
+			}
+		}
+	}
+	s.prevFailed = snap.Failed
 	for c := range s.profs {
 		s.profs[c].Decay()
 	}
@@ -486,8 +566,13 @@ func (s *System) l2Access(c int, addr trace.Addr, write bool, issueAt int64) int
 	var hit bool
 	if s.alloc.Hashed {
 		// Shared baseline: static address hash across all banks; the line
-		// has exactly one home set.
-		target = hashBank(addr, nuca.NumBanks)
+		// has exactly one home set. Under bank failures the hash spans only
+		// the surviving banks.
+		if s.alloc.Failed == 0 {
+			target = hashBank(addr, nuca.NumBanks)
+		} else {
+			target = s.survBanks[hashBank(addr, len(s.survBanks))]
+		}
 		hit = s.banks[target].ProbeFor(addr, c)
 	} else {
 		// Parallel aggregation within the partition: the partial-tag
@@ -514,7 +599,7 @@ func (s *System) l2Access(c int, addr trace.Addr, write bool, issueAt int64) int
 		bankStart = s.bankFree[target]
 	}
 	s.bankFree[target] = bankStart + s.cfg.BankBusyCycles
-	dataReady := bankStart + nuca.MinLatency
+	dataReady := bankStart + nuca.MinLatency + s.bankExtra[target]
 
 	res := s.banks[target].Access(addr, c, write)
 	if res.Hit != hit {
@@ -655,5 +740,6 @@ func (s *System) ResetStats() {
 		}
 		s.seedWindowBaselines()
 		s.recordAllocEvents(s.alloc, nil, 0, s.maxNow())
+		s.recordFaultEvents(s.cfg.Faults.ActiveAt(s.epochs-1), 0, s.maxNow())
 	}
 }

@@ -3,6 +3,7 @@ package bankaware
 import (
 	"context"
 	"io"
+	"time"
 
 	"bankaware/internal/experiments"
 	"bankaware/internal/metrics"
@@ -37,6 +38,8 @@ const (
 	JobDone = runner.JobDone
 	// JobFailed fires when a job returns an error or panics.
 	JobFailed = runner.JobFailed
+	// JobRetried fires when a failed attempt is about to be retried.
+	JobRetried = runner.JobRetried
 )
 
 // ProgressPrinter returns a ProgressFunc rendering a throttled live
@@ -82,13 +85,18 @@ const (
 //	)
 //	res, err := r.RunMonteCarlo(bankaware.DefaultMonteCarloConfig())
 type Runner struct {
-	ctx      context.Context
-	workers  int
-	progress ProgressFunc
-	seed     uint64
-	hasSeed  bool
-	metrics  *metrics.Registry
-	reportW  io.Writer
+	ctx        context.Context
+	workers    int
+	progress   ProgressFunc
+	seed       uint64
+	hasSeed    bool
+	metrics    *metrics.Registry
+	reportW    io.Writer
+	faults     *FaultPlan
+	retries    int
+	backoff    time.Duration
+	jobTimeout time.Duration
+	checkpoint string
 }
 
 // RunnerOption configures a Runner (functional options).
@@ -149,6 +157,42 @@ func WithReportWriter(w io.Writer) RunnerOption {
 	return func(r *Runner) { r.reportW = w }
 }
 
+// WithFaultPlan injects a deterministic fault plan into every campaign run
+// under this Runner: detailed simulations consume it at repartition
+// boundaries (banks fail or slow down, profiling degrades, DRAM spikes),
+// and the Monte Carlo degrades every trial with the plan's epoch-0 state.
+// A fixed (seed, plan) pair still produces byte-stable reports. Nil (and
+// the default) runs healthy.
+func WithFaultPlan(p *FaultPlan) RunnerOption {
+	return func(r *Runner) { r.faults = p }
+}
+
+// WithRetries grants every failed job n extra attempts before its error
+// fails the campaign, waiting backoff before the first retry and doubling
+// it per attempt (capped at 64x). Zero backoff retries immediately.
+// Cancellation is never retried. The default is fail-fast.
+func WithRetries(n int, backoff time.Duration) RunnerOption {
+	return func(r *Runner) { r.retries, r.backoff = n, backoff }
+}
+
+// WithJobTimeout bounds each job attempt with a per-job deadline; an
+// attempt exceeding it fails (and is retried when WithRetries allows).
+// Zero (the default) leaves jobs bounded only by the Runner's context.
+func WithJobTimeout(d time.Duration) RunnerOption {
+	return func(r *Runner) { r.jobTimeout = d }
+}
+
+// WithCheckpoint journals every completed Monte Carlo trial to path so a
+// killed campaign resumes where it stopped: rerunning with the same path
+// and configuration restores the recorded trials instead of recomputing
+// them, and the resumed campaign's report is byte-identical to an
+// uninterrupted run. The file is created on first use and appended on
+// resume; delete it to start fresh. Detailed-simulation campaigns ignore
+// the checkpoint (their run reports are too large to journal profitably).
+func WithCheckpoint(path string) RunnerOption {
+	return func(r *Runner) { r.checkpoint = path }
+}
+
 // observe reports whether campaigns should attach the observation layer.
 func (r *Runner) observe() bool { return r.metrics != nil || r.reportW != nil }
 
@@ -159,6 +203,20 @@ func (r *Runner) progressFunc() ProgressFunc {
 		return r.progress
 	}
 	return runner.CountInto(r.metrics, r.progress)
+}
+
+// experimentOptions builds the campaign options for the detailed
+// simulations from the Runner's configuration.
+func (r *Runner) experimentOptions() experiments.Options {
+	opt := experiments.Options{
+		Workers: r.workers, Progress: r.progressFunc(), Observe: r.observe(),
+		Faults:  r.faults,
+		Retries: r.retries, RetryBackoff: r.backoff, JobTimeout: r.jobTimeout,
+	}
+	if r.hasSeed {
+		opt.Seed = r.seed
+	}
+	return opt
 }
 
 // emitReport writes rep to the configured report writer, if any.
@@ -174,10 +232,21 @@ func (r *Runner) RunMonteCarlo(cfg MonteCarloConfig) (*MonteCarloResults, error)
 	if r.hasSeed {
 		cfg.Seed = r.seed
 	}
-	res, err := montecarlo.RunContext(r.ctx, cfg, montecarlo.Options{
+	opt := montecarlo.Options{
 		Workers:  r.workers,
 		Progress: r.progressFunc(),
-	})
+		Retries:  r.retries, RetryBackoff: r.backoff, JobTimeout: r.jobTimeout,
+		Faults: r.faults,
+	}
+	if r.checkpoint != "" {
+		j, err := runner.OpenJournal(r.checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		opt.Journal = j
+	}
+	res, err := montecarlo.RunContext(r.ctx, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -191,10 +260,7 @@ func (r *Runner) RunMonteCarlo(cfg MonteCarloConfig) (*MonteCarloResults, error)
 // Table III sets x 3 policies, fanned out as 24 independent jobs). An
 // instructions budget of zero selects the scale's default.
 func (r *Runner) RunExperiments(scale ExperimentScale, instructions uint64) (*ExperimentsResult, error) {
-	opt := experiments.Options{Workers: r.workers, Progress: r.progressFunc(), Observe: r.observe()}
-	if r.hasSeed {
-		opt.Seed = r.seed
-	}
+	opt := r.experimentOptions()
 	res, err := experiments.RunFig8Fig9Context(r.ctx, scale, instructions, opt)
 	if err != nil {
 		return nil, err
@@ -211,10 +277,7 @@ func (r *Runner) RunExperiments(scale ExperimentScale, instructions uint64) (*Ex
 // shortened epoch), set is a 1-based label for the report, and an
 // instructions budget of zero selects the model scale's default.
 func (r *Runner) RunSet(cfg SimConfig, set int, workloads []string, instructions uint64) (*SetResult, error) {
-	opt := experiments.Options{Workers: r.workers, Progress: r.progressFunc(), Observe: r.observe()}
-	if r.hasSeed {
-		opt.Seed = r.seed
-	}
+	opt := r.experimentOptions()
 	if instructions == 0 {
 		instructions = ScaleModel.DefaultInstructions()
 	}
