@@ -7,6 +7,22 @@
 // interfere. All sets of a bank share the same way assignment, so partition
 // granularity within a bank is a whole way — exactly the restriction the
 // bank-aware allocator is designed around.
+//
+// The bank is on the simulator's per-access critical path, so its state is
+// laid out for the host cache rather than for readability of a textbook
+// structure (see DESIGN.md, "Performance model"). For banks of at most 8
+// ways the per-set lookup and replacement state is a pair of adjacent
+// 64-bit words (Bank.psr): a partial-tag word (a valid bit plus 7 tag bits
+// per way) and a rank word (the way's true-LRU stack depth per way). One
+// SWAR compare against the partial-tag word rejects a miss or yields the
+// candidate ways, and the LRU victim choice and move-to-MRU splice are
+// branchless register arithmetic on the rank word (O(1) touch and victim
+// selection, no per-hit copying); the full-tag array is read only to
+// confirm candidates (~1/128 false-positive rate per way) and to report the
+// evicted block. Wider banks fall back to a linear scan over packed full
+// tags with a byte-per-way rank vector. The steady-state access path
+// performs no heap allocation; a differential test checks both layouts
+// against a straightforward slice-shuffle LRU oracle.
 package cache
 
 import (
@@ -81,17 +97,48 @@ func (c Config) Validate() error {
 // Blocks returns the bank's capacity in cache blocks.
 func (c Config) Blocks() int { return c.Sets * c.Ways }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	owner uint8 // core that allocated the line
+// invalidTag marks an invalid line in the packed tags array. A real tag is
+// a block number shifted right by log2(Sets): at most 64-trace.BlockBits
+// significant bits, so the all-ones value can never collide with one. This
+// lets residency be tested with a single compare per way.
+const invalidTag = ^uint64(0)
+
+// Per-way metadata byte layout (Bank.meta): bit 0 dirty, bits 4..7 the
+// allocating core. Validity is carried by the tag (invalidTag), not a bit.
+const (
+	metaDirty      = 1 << 0
+	metaOwnerShift = 4
+)
+
+const (
+	swarOnes  = 0x0101010101010101
+	swarHighs = 0x8080808080808080
+)
+
+// partialOf returns the partial-tag lane byte for a full tag: the valid bit
+// 0x80 plus the low 7 tag bits, so a valid lane is never the 0 that marks
+// an invalid one.
+func partialOf(tag uint64) uint64 { return tag&0x7F | 0x80 }
+
+// zeroBytes returns 0x80 in each byte position of x that holds zero — the
+// exact bit-twiddling zero-byte detector.
+func zeroBytes(x uint64) uint64 { return (x - swarOnes) &^ x & swarHighs }
+
+// byteMaskToWays packs a 0x80-per-byte mask into a way bitmask (bit w set
+// iff byte w was flagged).
+func byteMaskToWays(m uint64) uint32 {
+	return uint32(((m >> 7) * 0x0102040810204080) >> 56)
 }
 
-type cacheSet struct {
-	lines []line
-	// order holds way indices from MRU (front) to LRU (back).
-	order []uint8
+// rankMTF splices way w (shift sh = 8*w, current rank r > 0) to the MRU
+// position of rank word rv: every lane ranked below r sinks one, lane w
+// becomes rank 0. The lane-wise compare is exact because every rank is
+// below 0x80 and live ranks are distinct; the borrow chain can only
+// corrupt lane w itself, which is excluded from the increment and then
+// rewritten to 0.
+func rankMTF(rv, r uint64, sh uint) uint64 {
+	lt := (rv - r*swarOnes) & swarHighs &^ (0x80 << sh)
+	return (rv + lt>>7) &^ (0xFF << sh)
 }
 
 // Result reports the outcome of a bank access.
@@ -132,12 +179,48 @@ func (s *Stats) MissRatio() float64 {
 
 // Bank is one physical cache bank with way-partitioned LRU replacement.
 type Bank struct {
-	cfg      Config
-	sets     []cacheSet
+	cfg  Config
+	ways int
+	// tags[set*ways+way] is the resident full tag, invalidTag when empty.
+	tags []uint64
+	// meta[set*ways+way] carries the dirty bit and the allocating core.
+	meta []uint8
+	// psr holds, for banks of at most 8 ways (nil for wider banks), the
+	// per-set state pair: psr[2*set] is the partial-tag word (lane w =
+	// partialOf(tag), 0 when invalid) and psr[2*set+1] is the rank word
+	// (lane w = the way's recency rank, 0 = MRU .. ways-1 = LRU). The two
+	// words are interleaved so one cache line serves both. Rank lanes of
+	// the first Ways lanes are always a permutation of 0..Ways-1; lanes
+	// beyond Ways are pinned to rank 7, which the SWAR arithmetic never
+	// disturbs (real ranks stay below 7 whenever Ways < 8). Invalidation
+	// clears a lane's partial byte but keeps its rank, so an invalidated
+	// way holds its position in the recency order exactly like the
+	// reference LRU, which left the slot in place.
+	psr []uint64
+	// rank[set*ways+way] is the recency rank for banks wider than 8 ways
+	// (nil otherwise), same ordering convention.
+	rank     []uint8
 	wayOwner []OwnerMask
-	setMask  uint64
-	stats    Stats
-	plru     *plruState // non-nil when cfg.Replacement == TreePLRU
+	// ownedBy[core] is the bitmask of ways core may allocate into — the
+	// transpose of wayOwner, kept so the access path tests ownership with
+	// register arithmetic instead of per-way slice loads.
+	ownedBy [MaxCores]uint32
+	setMask uint64
+	setBits uint
+	stats   Stats
+	plru    *plruState // non-nil when cfg.Replacement == TreePLRU
+}
+
+// rebuildOwnedBy recomputes the per-core way masks from wayOwner.
+func (b *Bank) rebuildOwnedBy() {
+	b.ownedBy = [MaxCores]uint32{}
+	for w, m := range b.wayOwner {
+		for c := 0; c < MaxCores; c++ {
+			if m.Has(c) {
+				b.ownedBy[c] |= 1 << w
+			}
+		}
+	}
 }
 
 // NewBank builds a bank; every way initially belongs to all cores (shared,
@@ -148,23 +231,44 @@ func NewBank(cfg Config) (*Bank, error) {
 	}
 	b := &Bank{
 		cfg:      cfg,
-		sets:     make([]cacheSet, cfg.Sets),
+		ways:     cfg.Ways,
+		tags:     make([]uint64, cfg.Sets*cfg.Ways),
+		meta:     make([]uint8, cfg.Sets*cfg.Ways),
 		wayOwner: make([]OwnerMask, cfg.Ways),
 		setMask:  uint64(cfg.Sets - 1),
+		setBits:  uint(bits.TrailingZeros64(uint64(cfg.Sets))),
 	}
-	lines := make([]line, cfg.Sets*cfg.Ways)
-	order := make([]uint8, cfg.Sets*cfg.Ways)
-	for i := range b.sets {
-		b.sets[i].lines = lines[i*cfg.Ways : (i+1)*cfg.Ways]
-		b.sets[i].order = order[i*cfg.Ways : (i+1)*cfg.Ways]
-		for w := 0; w < cfg.Ways; w++ {
-			b.sets[i].order[w] = uint8(w)
+	for i := range b.tags {
+		b.tags[i] = invalidTag
+	}
+	if cfg.Ways <= 8 {
+		// Initial recency order: way 0 MRU .. way Ways-1 LRU; unused
+		// lanes pinned to rank 7.
+		var init uint64
+		for w := 0; w < 8; w++ {
+			r := uint64(w)
+			if w >= cfg.Ways {
+				r = 7
+			}
+			init |= r << (8 * uint(w))
+		}
+		b.psr = make([]uint64, 2*cfg.Sets)
+		for si := 0; si < cfg.Sets; si++ {
+			b.psr[2*si+1] = init
+		}
+	} else {
+		b.rank = make([]uint8, cfg.Sets*cfg.Ways)
+		for si := 0; si < cfg.Sets; si++ {
+			for w := 0; w < cfg.Ways; w++ {
+				b.rank[si*cfg.Ways+w] = uint8(w)
+			}
 		}
 	}
 	all := AllCores(MaxCores)
 	for w := range b.wayOwner {
 		b.wayOwner[w] = all
 	}
+	b.rebuildOwnedBy()
 	if cfg.Replacement == TreePLRU {
 		b.plru = newPLRUState(cfg.Sets, cfg.Ways)
 		b.plru.rebuildOwnership(b.wayOwner)
@@ -184,8 +288,22 @@ func MustBank(cfg Config) *Bank {
 // Config returns the bank geometry.
 func (b *Bank) Config() Config { return b.cfg }
 
-// Stats returns a snapshot of the bank's counters.
-func (b *Bank) Stats() Stats { return b.stats }
+// Stats returns a snapshot of the bank's counters. The access path only
+// maintains the per-core counters plus the eviction-side ones; the
+// aggregate Accesses, Misses and Hits are derived here so the hot path
+// carries three fewer counter updates.
+func (b *Bank) Stats() Stats {
+	s := b.stats
+	var acc, miss uint64
+	for c := range s.PerCoreAccess {
+		acc += s.PerCoreAccess[c]
+		miss += s.PerCoreMiss[c]
+	}
+	s.Accesses = acc
+	s.Misses = miss
+	s.Hits = acc - miss
+	return s
+}
 
 // ResetStats zeroes the counters (partition state is untouched).
 func (b *Bank) ResetStats() { b.stats = Stats{} }
@@ -198,6 +316,7 @@ func (b *Bank) SetWayOwners(owners []OwnerMask) error {
 		return fmt.Errorf("cache: got %d way owners for %d ways", len(owners), b.cfg.Ways)
 	}
 	copy(b.wayOwner, owners)
+	b.rebuildOwnedBy()
 	if b.plru != nil {
 		b.plru.rebuildOwnership(b.wayOwner)
 	}
@@ -222,11 +341,11 @@ func (b *Bank) OwnedWays(core int) int {
 
 func (b *Bank) decompose(addr trace.Addr) (set uint64, tag uint64) {
 	blk := uint64(addr) >> trace.BlockBits
-	return blk & b.setMask, blk >> uint(bits.TrailingZeros64(uint64(b.cfg.Sets)))
+	return blk & b.setMask, blk >> b.setBits
 }
 
 func (b *Bank) compose(set, tag uint64) trace.Addr {
-	blk := tag<<uint(bits.TrailingZeros64(uint64(b.cfg.Sets))) | set
+	blk := tag<<b.setBits | set
 	return trace.Addr(blk << trace.BlockBits)
 }
 
@@ -236,112 +355,288 @@ func (b *Bank) compose(set, tag uint64) trace.Addr {
 // Access panics if core owns no ways — the partitioning layer must never
 // let that happen (there is a test pinning that contract).
 func (b *Bank) Access(addr trace.Addr, core int, write bool) Result {
-	if core < 0 || core >= MaxCores {
+	if uint(core) >= MaxCores {
 		panic(fmt.Sprintf("cache: core %d out of range", core))
 	}
-	b.stats.Accesses++
 	b.stats.PerCoreAccess[core]++
 	si, tag := b.decompose(addr)
-	s := &b.sets[si]
+	owned := b.ownedBy[core]
+	if b.psr == nil {
+		return b.accessWide(si, tag, core, owned, write)
+	}
+	base := int(si) * b.ways
 
-	// Lookup: by default across all ways (enforcement is on allocation
-	// only); in strict mode only the requester's ways are visible.
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag {
-			cross := !b.wayOwner[w].Has(core)
+	// Lookup: one SWAR compare against the set's partial-tag word yields
+	// the candidate ways; most misses match nothing and never read the
+	// full-tag array at all. Candidates (real hits plus rare partial
+	// collisions) are confirmed against the full tag. By default hits
+	// land anywhere (enforcement is on allocation only); in strict mode
+	// only the requester's ways are visible.
+	pw := b.psr[2*si]
+	cand := zeroBytes(pw ^ partialOf(tag)*swarOnes)
+	for c := cand; c != 0; c &= c - 1 {
+		w := bits.TrailingZeros64(c) >> 3
+		if b.tags[base+w] != tag {
+			continue
+		}
+		cross := owned>>w&1 == 0
+		if cross && b.cfg.StrictLookup {
+			continue
+		}
+		if write {
+			b.meta[base+w] |= metaDirty
+		}
+		// In-register SWAR move-to-front on the rank word.
+		rv := b.psr[2*si+1]
+		sh := 8 * uint(w)
+		if r := rv >> sh & 0xFF; r != 0 {
+			b.psr[2*si+1] = rankMTF(rv, r, sh)
+		}
+		if b.plru != nil {
+			b.plru.touch(int(si), w)
+		}
+		if cross {
+			b.stats.CrossHits++
+		}
+		return Result{Hit: true, HitWay: w, CrossPartitionHit: cross}
+	}
+
+	b.stats.PerCoreMiss[core]++
+	if b.cfg.StrictLookup && cand != 0 {
+		// Drop any stale copy in ways the requester cannot see, so the
+		// refill never duplicates the tag within the set.
+		for c := cand; c != 0; c &= c - 1 {
+			w := bits.TrailingZeros64(c) >> 3
+			if b.tags[base+w] == tag {
+				b.tags[base+w] = invalidTag
+				b.meta[base+w] = 0
+				b.psr[2*si] &^= 0xFF << (8 * uint(w))
+			}
+		}
+		pw = b.psr[2*si]
+	}
+	rv := b.psr[2*si+1]
+	victim := -1
+	if m := byteMaskToWays(zeroBytes(pw)) & owned; m != 0 {
+		// Lowest-indexed invalid way the core owns, exactly like the
+		// reference implementation's linear free-slot scan.
+		victim = bits.TrailingZeros32(m)
+	} else if b.plru != nil {
+		victim = b.plru.victim(int(si), core)
+	} else if owned == 0xFF {
+		// Full ownership of an 8-way set: the set-global LRU way is the
+		// unique lane holding rank 7.
+		victim = bits.TrailingZeros64(zeroBytes(rv^7*swarOnes)) >> 3
+	} else {
+		// Deepest-ranked owned way; live ranks are distinct, so the
+		// maximum over the owned subset is the core's LRU way.
+		bestRank := -1
+		for m := owned; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros32(m)
+			if r := int(rv >> (8 * uint(w)) & 0xFF); r > bestRank {
+				victim, bestRank = w, r
+			}
+		}
+	}
+	if victim < 0 {
+		panic(fmt.Sprintf("cache: core %d owns no ways in bank", core))
+	}
+	// Move the victim to MRU and refresh its partial-tag lane, all on the
+	// register copies of the state words.
+	sh := 8 * uint(victim)
+	if r := rv >> sh & 0xFF; r != 0 {
+		rv = rankMTF(rv, r, sh)
+	}
+	b.psr[2*si] = pw&^(0xFF<<sh) | partialOf(tag)<<sh
+	b.psr[2*si+1] = rv
+	if b.plru != nil {
+		b.plru.touch(int(si), victim)
+	}
+	// Tag/meta fill, hand-inlined so the Result is assembled in registers
+	// at the return point; the victim-tag read below is the only access
+	// that can leave the L1-resident state arrays.
+	vi := base + victim
+	old := b.tags[vi]
+	om := b.meta[vi]
+	b.tags[vi] = tag
+	fm := uint8(core) << metaOwnerShift
+	if write {
+		fm |= metaDirty
+	}
+	b.meta[vi] = fm
+	if old == invalidTag {
+		return Result{}
+	}
+	b.stats.Evictions++
+	dirty := om&metaDirty != 0
+	if dirty {
+		b.stats.Writebacks++
+	}
+	return Result{
+		VictimValid: true,
+		VictimAddr:  b.compose(si, old),
+		VictimDirty: dirty,
+		VictimOwner: int(om >> metaOwnerShift),
+	}
+}
+
+// accessWide is the Access path for banks wider than 8 ways, where no
+// per-set state words exist: a plain scan over the packed full tags with a
+// byte-per-way rank vector.
+func (b *Bank) accessWide(si, tag uint64, core int, owned uint32, write bool) Result {
+	base := int(si) * b.ways
+	tags := b.tags[base : base+b.ways : base+b.ways]
+	inv := uint32(0)
+	for w := range tags {
+		t := tags[w]
+		if t == tag {
+			cross := owned>>w&1 == 0
 			if cross && b.cfg.StrictLookup {
 				continue
 			}
-			b.stats.Hits++
 			if write {
-				s.lines[w].dirty = true
+				b.meta[base+w] |= metaDirty
 			}
-			b.useWay(si, s, w)
+			b.useWay(si, w)
 			if cross {
 				b.stats.CrossHits++
 			}
 			return Result{Hit: true, HitWay: w, CrossPartitionHit: cross}
 		}
+		if t == invalidTag {
+			inv |= 1 << w
+		}
 	}
-
-	b.stats.Misses++
 	b.stats.PerCoreMiss[core]++
 	if b.cfg.StrictLookup {
-		// Drop any stale copy in ways the requester cannot see, so the
-		// refill never duplicates the tag within the set.
-		for w := range s.lines {
-			if s.lines[w].valid && s.lines[w].tag == tag {
-				s.lines[w] = line{}
+		for w := range tags {
+			if tags[w] == tag {
+				tags[w] = invalidTag
+				b.meta[base+w] = 0
+				inv |= 1 << w
 			}
 		}
 	}
-	victim := b.victimWay(si, s, core)
+	victim := -1
+	if m := inv & owned; m != 0 {
+		victim = bits.TrailingZeros32(m)
+	} else if b.plru != nil {
+		victim = b.plru.victim(int(si), core)
+	} else {
+		rk := b.rank[base : base+b.ways : base+b.ways]
+		bestRank := -1
+		for m := owned; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros32(m)
+			if r := int(rk[w]); r > bestRank {
+				victim, bestRank = w, r
+			}
+		}
+	}
 	if victim < 0 {
 		panic(fmt.Sprintf("cache: core %d owns no ways in bank", core))
 	}
 	res := Result{}
-	vl := &s.lines[victim]
-	if vl.valid {
+	b.fill(si, victim, tag, core, write, &res)
+	return res
+}
+
+// fill installs tag into way victim of set si on behalf of core, recording
+// any displaced valid line in res and moving the way to MRU. It is the
+// shared slow-path helper for Insert and wide banks; Access's fast path
+// inlines the same steps.
+func (b *Bank) fill(si uint64, victim int, tag uint64, core int, dirty bool, res *Result) {
+	vi := int(si)*b.ways + victim
+	if old := b.tags[vi]; old != invalidTag {
+		m := b.meta[vi]
 		b.stats.Evictions++
 		res.VictimValid = true
-		res.VictimAddr = b.compose(si, vl.tag)
-		res.VictimDirty = vl.dirty
-		res.VictimOwner = int(vl.owner)
-		if vl.dirty {
+		res.VictimAddr = b.compose(si, old)
+		res.VictimDirty = m&metaDirty != 0
+		res.VictimOwner = int(m >> metaOwnerShift)
+		if res.VictimDirty {
 			b.stats.Writebacks++
 		}
 	}
-	*vl = line{tag: tag, valid: true, dirty: write, owner: uint8(core)}
-	b.useWay(si, s, victim)
-	return res
+	b.tags[vi] = tag
+	m := uint8(core) << metaOwnerShift
+	if dirty {
+		m |= metaDirty
+	}
+	b.meta[vi] = m
+	if b.psr != nil {
+		sh := 8 * uint(victim)
+		b.psr[2*si] = b.psr[2*si]&^(0xFF<<sh) | partialOf(tag)<<sh
+	}
+	b.useWay(si, victim)
 }
 
 // victimWay picks the way to fill for core: an invalid owned way if one
 // exists, otherwise the (pseudo-)least-recently-used owned way. Returns -1
 // when the core owns nothing.
-func (b *Bank) victimWay(si uint64, s *cacheSet, core int) int {
-	for w := range s.lines {
-		if !s.lines[w].valid && b.wayOwner[w].Has(core) {
+func (b *Bank) victimWay(si uint64, core int) int {
+	base := int(si) * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.tags[base+w] == invalidTag && b.wayOwner[w].Has(core) {
 			return w
 		}
 	}
 	if b.plru != nil {
 		return b.plru.victim(int(si), core)
 	}
-	for i := len(s.order) - 1; i >= 0; i-- {
-		w := int(s.order[i])
-		if b.wayOwner[w].Has(core) {
-			return w
+	best, bestRank := -1, -1
+	for w := 0; w < b.ways; w++ {
+		if !b.wayOwner[w].Has(core) {
+			continue
+		}
+		if r := b.rankOf(si, base, w); r > bestRank {
+			best, bestRank = w, r
 		}
 	}
-	return -1
+	return best
+}
+
+// rankOf returns way w's recency rank regardless of bank layout.
+func (b *Bank) rankOf(si uint64, base, w int) int {
+	if b.psr != nil {
+		return int(b.psr[2*si+1] >> (8 * uint(w)) & 0xFF)
+	}
+	return int(b.rank[base+w])
 }
 
 // useWay records a reference to way w of set si in the replacement state.
-func (b *Bank) useWay(si uint64, s *cacheSet, w int) {
-	s.touch(w)
+func (b *Bank) useWay(si uint64, w int) {
+	b.touch(si, w)
 	if b.plru != nil {
 		b.plru.touch(int(si), w)
 	}
 }
 
-// touch moves way w to the MRU position of the set's order.
-func (s *cacheSet) touch(w int) {
-	pos := -1
-	for i, o := range s.order {
-		if int(o) == w {
-			pos = i
-			break
+// touch moves way w to the MRU position of its set: every way above it in
+// the recency order sinks one rank, w's rank becomes 0. For psr banks the
+// update is a branchless SWAR sequence on the rank word; wide banks take a
+// short loop over the rank bytes. Either way the touch does no copying and
+// no pointer chasing.
+func (b *Bank) touch(si uint64, w int) {
+	if b.psr != nil {
+		rv := b.psr[2*si+1]
+		sh := 8 * uint(w)
+		if r := rv >> sh & 0xFF; r != 0 {
+			b.psr[2*si+1] = rankMTF(rv, r, sh)
+		}
+		return
+	}
+	base := int(si) * b.ways
+	r := b.rank[base+w]
+	if r == 0 {
+		return
+	}
+	rk := b.rank[base : base+b.ways]
+	for i, x := range rk {
+		if x < r {
+			rk[i] = x + 1
 		}
 	}
-	if pos <= 0 {
-		if pos == 0 {
-			return
-		}
-		panic("cache: way missing from LRU order")
-	}
-	copy(s.order[1:pos+1], s.order[:pos])
-	s.order[0] = uint8(w)
+	rk[w] = 0
 }
 
 // Insert allocates addr into core's partition as MRU without counting an
@@ -351,34 +646,23 @@ func (s *cacheSet) touch(w int) {
 // resident refreshes it instead of duplicating it.
 func (b *Bank) Insert(addr trace.Addr, core int, dirty bool) Result {
 	si, tag := b.decompose(addr)
-	s := &b.sets[si]
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag {
+	base := int(si) * b.ways
+	tags := b.tags[base : base+b.ways]
+	for w := range tags {
+		if tags[w] == tag {
 			if dirty {
-				s.lines[w].dirty = true
+				b.meta[base+w] |= metaDirty
 			}
-			b.useWay(si, s, w)
+			b.useWay(si, w)
 			return Result{Hit: true, HitWay: w}
 		}
 	}
-	victim := b.victimWay(si, s, core)
+	victim := b.victimWay(si, core)
 	if victim < 0 {
 		panic(fmt.Sprintf("cache: core %d owns no ways in bank", core))
 	}
 	res := Result{}
-	vl := &s.lines[victim]
-	if vl.valid {
-		b.stats.Evictions++
-		res.VictimValid = true
-		res.VictimAddr = b.compose(si, vl.tag)
-		res.VictimDirty = vl.dirty
-		res.VictimOwner = int(vl.owner)
-		if vl.dirty {
-			b.stats.Writebacks++
-		}
-	}
-	*vl = line{tag: tag, valid: true, dirty: dirty, owner: uint8(core)}
-	b.useWay(si, s, victim)
+	b.fill(si, victim, tag, core, dirty, &res)
 	return res
 }
 
@@ -387,9 +671,10 @@ func (b *Bank) Insert(addr trace.Addr, core int, dirty bool) Result {
 // multi-bank lookup use it.
 func (b *Bank) Probe(addr trace.Addr) bool {
 	si, tag := b.decompose(addr)
-	s := &b.sets[si]
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag {
+	base := int(si) * b.ways
+	tags := b.tags[base : base+b.ways]
+	for w := range tags {
+		if tags[w] == tag {
 			return true
 		}
 	}
@@ -404,9 +689,10 @@ func (b *Bank) ProbeFor(addr trace.Addr, core int) bool {
 		return b.Probe(addr)
 	}
 	si, tag := b.decompose(addr)
-	s := &b.sets[si]
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag && b.wayOwner[w].Has(core) {
+	base := int(si) * b.ways
+	tags := b.tags[base : base+b.ways]
+	for w := range tags {
+		if tags[w] == tag && b.wayOwner[w].Has(core) {
 			return true
 		}
 	}
@@ -415,14 +701,21 @@ func (b *Bank) ProbeFor(addr trace.Addr, core int) bool {
 
 // Invalidate removes addr from the bank if present, returning whether it was
 // present and whether it was dirty (needing writeback). Used for inclusive-
-// hierarchy back-invalidation and coherence.
+// hierarchy back-invalidation and coherence. The way keeps its position in
+// the recency order, exactly as the reference LRU left invalidated entries
+// in place.
 func (b *Bank) Invalidate(addr trace.Addr) (present, dirty bool) {
 	si, tag := b.decompose(addr)
-	s := &b.sets[si]
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag {
-			d := s.lines[w].dirty
-			s.lines[w] = line{}
+	base := int(si) * b.ways
+	tags := b.tags[base : base+b.ways]
+	for w := range tags {
+		if tags[w] == tag {
+			d := b.meta[base+w]&metaDirty != 0
+			tags[w] = invalidTag
+			b.meta[base+w] = 0
+			if b.psr != nil {
+				b.psr[2*si] &^= 0xFF << (8 * uint(w))
+			}
 			return true, d
 		}
 	}
@@ -435,26 +728,34 @@ func (b *Bank) Invalidate(addr trace.Addr) (present, dirty bool) {
 // ok is false when the core has no valid lines in that set.
 func (b *Bank) ExtractLRUOf(addr trace.Addr, core int) (victim trace.Addr, dirty, ok bool) {
 	si, _ := b.decompose(addr)
-	s := &b.sets[si]
-	for i := len(s.order) - 1; i >= 0; i-- {
-		w := int(s.order[i])
-		if s.lines[w].valid && int(s.lines[w].owner) == core {
-			v := s.lines[w]
-			s.lines[w] = line{}
-			return b.compose(si, v.tag), v.dirty, true
+	base := int(si) * b.ways
+	best, bestRank := -1, -1
+	for w := 0; w < b.ways; w++ {
+		if b.tags[base+w] != invalidTag && int(b.meta[base+w]>>metaOwnerShift) == core {
+			if r := b.rankOf(si, base, w); r > bestRank {
+				best, bestRank = w, r
+			}
 		}
 	}
-	return 0, false, false
+	if best < 0 {
+		return 0, false, false
+	}
+	victim = b.compose(si, b.tags[base+best])
+	dirty = b.meta[base+best]&metaDirty != 0
+	b.tags[base+best] = invalidTag
+	b.meta[base+best] = 0
+	if b.psr != nil {
+		b.psr[2*si] &^= 0xFF << (8 * uint(best))
+	}
+	return victim, dirty, true
 }
 
 // Occupancy returns the number of valid lines currently owned by each core.
 func (b *Bank) Occupancy() [MaxCores]int {
 	var occ [MaxCores]int
-	for i := range b.sets {
-		for _, ln := range b.sets[i].lines {
-			if ln.valid {
-				occ[ln.owner]++
-			}
+	for i, tag := range b.tags {
+		if tag != invalidTag {
+			occ[b.meta[i]>>metaOwnerShift]++
 		}
 	}
 	return occ
@@ -467,14 +768,16 @@ func (b *Bank) Occupancy() [MaxCores]int {
 // lifetime counters.
 func (b *Bank) Clear() []trace.Addr {
 	var dropped []trace.Addr
-	for si := range b.sets {
-		for w := range b.sets[si].lines {
-			ln := &b.sets[si].lines[w]
-			if ln.valid {
-				dropped = append(dropped, b.compose(uint64(si), ln.tag))
-				ln.valid, ln.dirty = false, false
-			}
+	for i, tag := range b.tags {
+		if tag != invalidTag {
+			si := uint64(i / b.ways)
+			dropped = append(dropped, b.compose(si, tag))
+			b.tags[i] = invalidTag
+			b.meta[i] = 0
 		}
+	}
+	for si := 0; si < len(b.psr)/2; si++ {
+		b.psr[2*si] = 0
 	}
 	return dropped
 }
@@ -482,11 +785,9 @@ func (b *Bank) Clear() []trace.Addr {
 // ValidLines returns the total number of valid lines in the bank.
 func (b *Bank) ValidLines() int {
 	n := 0
-	for i := range b.sets {
-		for _, ln := range b.sets[i].lines {
-			if ln.valid {
-				n++
-			}
+	for _, tag := range b.tags {
+		if tag != invalidTag {
+			n++
 		}
 	}
 	return n

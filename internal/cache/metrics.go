@@ -6,9 +6,9 @@ import "bankaware/internal/metrics"
 // "l2.bank3"). Values are read lazily at snapshot time from the live Stats,
 // so registration costs nothing on the access path.
 func (b *Bank) RegisterMetrics(reg *metrics.Registry, prefix string) {
-	reg.RegisterFunc(prefix+".accesses", func() float64 { return float64(b.stats.Accesses) })
-	reg.RegisterFunc(prefix+".hits", func() float64 { return float64(b.stats.Hits) })
-	reg.RegisterFunc(prefix+".misses", func() float64 { return float64(b.stats.Misses) })
+	reg.RegisterFunc(prefix+".accesses", func() float64 { return float64(b.Stats().Accesses) })
+	reg.RegisterFunc(prefix+".hits", func() float64 { return float64(b.Stats().Hits) })
+	reg.RegisterFunc(prefix+".misses", func() float64 { return float64(b.Stats().Misses) })
 	reg.RegisterFunc(prefix+".evictions", func() float64 { return float64(b.stats.Evictions) })
 	reg.RegisterFunc(prefix+".writebacks", func() float64 { return float64(b.stats.Writebacks) })
 	reg.RegisterFunc(prefix+".cross_hits", func() float64 { return float64(b.stats.CrossHits) })

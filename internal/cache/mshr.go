@@ -9,6 +9,7 @@ import "bankaware/internal/trace"
 type MSHR struct {
 	capacity int
 	pending  map[trace.Addr][]uint64 // block -> ids of merged waiters
+	pool     [][]uint64              // released waiter slices, reused by Allocate
 	merges   uint64
 	rejects  uint64
 }
@@ -44,7 +45,13 @@ func (m *MSHR) Allocate(addr trace.Addr, waiter uint64) Outcome {
 		m.rejects++
 		return Full
 	}
-	m.pending[addr] = []uint64{waiter}
+	var ws []uint64
+	if n := len(m.pool); n > 0 {
+		ws = m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+	}
+	m.pending[addr] = append(ws, waiter)
 	return Primary
 }
 
@@ -58,6 +65,17 @@ func (m *MSHR) Complete(addr trace.Addr) []uint64 {
 	}
 	delete(m.pending, addr)
 	return ws
+}
+
+// Release returns a waiter slice obtained from Complete to the MSHR's
+// internal pool once the caller is done with it, so steady-state fill
+// traffic reuses slices instead of allocating per fill. Releasing nil is a
+// no-op; the caller must not use ws afterwards.
+func (m *MSHR) Release(ws []uint64) {
+	if cap(ws) == 0 {
+		return
+	}
+	m.pool = append(m.pool, ws[:0])
 }
 
 // InFlight reports whether addr has an outstanding fill.

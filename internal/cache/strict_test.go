@@ -42,13 +42,10 @@ func TestStrictLookupNoDuplicateTags(t *testing.T) {
 	b.Access(a, 1, false)
 	// Exactly one valid copy may remain.
 	copies := 0
-	for tag := 0; tag < 1; tag++ {
-		for w := 0; w < 4; w++ {
-			si, wantTag := b.decompose(a)
-			s := &b.sets[si]
-			if s.lines[w].valid && s.lines[w].tag == wantTag {
-				copies++
-			}
+	si, wantTag := b.decompose(a)
+	for w := 0; w < 4; w++ {
+		if b.tags[int(si)*b.ways+w] == wantTag {
+			copies++
 		}
 	}
 	if copies != 1 {

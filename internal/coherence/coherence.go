@@ -89,54 +89,142 @@ type Stats struct {
 	Writebacks     uint64
 }
 
+// entry is one tracked block, stored inline in the directory's
+// open-addressing table: 16 bytes, four entries per cache line, no per-block
+// heap object or pointer chase.
 type entry struct {
-	owner      int8 // core holding M/O/E; -1 when none
-	ownerState State
+	addr       trace.Addr
 	sharers    cache.OwnerMask
+	owner      int8  // core holding M/O/E; -1 when none
+	ownerState uint8 // State of the owner's copy
+	full       bool  // slot occupancy (addr 0 is a legal block address)
 }
 
 func (e *entry) empty() bool { return e.owner < 0 && e.sharers == 0 }
 
 // Directory is the MOESI directory. It is not safe for concurrent use; the
 // discrete-event simulator is single-threaded by design.
+//
+// Blocks live in a power-of-two open-addressing table with linear probing
+// and multiply-shift hashing. Deletion uses backward shifting instead of
+// tombstones, so probe sequences never degrade under the constant
+// allocate/retire churn of L1 evictions and L2 back-invalidations, and the
+// table's load factor is a true occupancy bound.
 type Directory struct {
-	blocks map[trace.Addr]*entry
-	stats  Stats
+	slots []entry
+	count int
+	shift uint // 64 - log2(len(slots)), for multiply-shift hashing
+	stats Stats
 }
+
+const dirMinSlots = 1024
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{blocks: make(map[trace.Addr]*entry)}
+	d := &Directory{slots: make([]entry, dirMinSlots)}
+	d.shift = 64
+	for n := 1; n < dirMinSlots; n <<= 1 {
+		d.shift--
+	}
+	return d
+}
+
+// home is the preferred slot for addr: Fibonacci multiply-shift on the full
+// address (block-aligned, so the multiplier spreads the informative bits
+// into the table index).
+func (d *Directory) home(addr trace.Addr) uint64 {
+	return uint64(addr) * 0x9e3779b97f4a7c15 >> d.shift
+}
+
+// find walks addr's probe sequence. It returns the slot holding addr, or
+// the first empty slot where it would be inserted.
+func (d *Directory) find(addr trace.Addr) (int, bool) {
+	mask := uint64(len(d.slots) - 1)
+	i := d.home(addr)
+	for d.slots[i].full {
+		if d.slots[i].addr == addr {
+			return int(i), true
+		}
+		i = (i + 1) & mask
+	}
+	return int(i), false
+}
+
+// get returns the entry for addr, creating a fresh ownerless one if absent.
+// The pointer is only valid until the next insertion (the table may grow).
+func (d *Directory) get(addr trace.Addr) *entry {
+	if d.count >= len(d.slots)-len(d.slots)/4 {
+		d.grow()
+	}
+	i, ok := d.find(addr)
+	e := &d.slots[i]
+	if !ok {
+		*e = entry{addr: addr, owner: -1, full: true}
+		d.count++
+	}
+	return e
+}
+
+func (d *Directory) grow() {
+	old := d.slots
+	d.slots = make([]entry, 2*len(old))
+	d.shift--
+	mask := uint64(len(d.slots) - 1)
+	for i := range old {
+		if !old[i].full {
+			continue
+		}
+		j := d.home(old[i].addr)
+		for d.slots[j].full {
+			j = (j + 1) & mask
+		}
+		d.slots[j] = old[i]
+	}
+}
+
+// deleteAt removes the entry at slot i by backward-shifting the rest of the
+// probe cluster, keeping every survivor reachable without tombstones.
+func (d *Directory) deleteAt(i int) {
+	mask := uint64(len(d.slots) - 1)
+	hole := uint64(i)
+	j := hole
+	for {
+		j = (j + 1) & mask
+		if !d.slots[j].full {
+			break
+		}
+		// Move j into the hole unless that would lift it above its home
+		// slot (cyclic distance test).
+		k := d.home(d.slots[j].addr)
+		if (j-k)&mask >= (j-hole)&mask {
+			d.slots[hole] = d.slots[j]
+			hole = j
+		}
+	}
+	d.slots[hole] = entry{}
+	d.count--
 }
 
 // Stats returns a snapshot of the protocol counters.
 func (d *Directory) Stats() Stats { return d.stats }
 
 // Entries returns the number of tracked blocks (for leak tests).
-func (d *Directory) Entries() int { return len(d.blocks) }
+func (d *Directory) Entries() int { return d.count }
 
 // StateOf reports core's state for addr.
 func (d *Directory) StateOf(addr trace.Addr, core int) State {
-	e, ok := d.blocks[addr]
+	i, ok := d.find(addr)
 	if !ok {
 		return Invalid
 	}
+	e := &d.slots[i]
 	if int(e.owner) == core {
-		return e.ownerState
+		return State(e.ownerState)
 	}
 	if e.sharers.Has(core) {
 		return Shared
 	}
 	return Invalid
-}
-
-func (d *Directory) get(addr trace.Addr) *entry {
-	e, ok := d.blocks[addr]
-	if !ok {
-		e = &entry{owner: -1}
-		d.blocks[addr] = e
-	}
-	return e
 }
 
 // OnReadMiss handles core's L1 read miss for addr.
@@ -147,18 +235,18 @@ func (d *Directory) OnReadMiss(core int, addr trace.Addr) Response {
 	case e.owner >= 0 && int(e.owner) == core:
 		// The directory thought this core already had the line (e.g. the
 		// L1 silently dropped a clean E copy). Refresh it.
-		return Response{Source: FromL2, NewState: e.ownerState}
+		return Response{Source: FromL2, NewState: State(e.ownerState)}
 	case e.owner >= 0:
 		// A peer holds M/O/E: it supplies the data. M and O degrade to O
 		// (dirty data stays on chip); E degrades to S.
 		d.stats.CacheTransfers++
-		if e.ownerState == Exclusive {
+		if State(e.ownerState) == Exclusive {
 			e.sharers = e.sharers.With(int(e.owner))
 			e.owner = -1
 			e.sharers = e.sharers.With(core)
 			return Response{Source: FromCache, NewState: Shared}
 		}
-		e.ownerState = Owned
+		e.ownerState = uint8(Owned)
 		e.sharers = e.sharers.With(core)
 		return Response{Source: FromCache, NewState: Shared}
 	case e.sharers != 0:
@@ -167,7 +255,7 @@ func (d *Directory) OnReadMiss(core int, addr trace.Addr) Response {
 	default:
 		// Sole copy: exclusive.
 		e.owner = int8(core)
-		e.ownerState = Exclusive
+		e.ownerState = uint8(Exclusive)
 		return Response{Source: FromL2, NewState: Exclusive}
 	}
 }
@@ -183,19 +271,15 @@ func (d *Directory) OnWriteMiss(core int, addr trace.Addr) Response {
 		resp.Invalidations++
 		resp.Source = FromCache
 		d.stats.CacheTransfers++
-		if e.ownerState == Modified || e.ownerState == Owned {
+		if State(e.ownerState) == Modified || State(e.ownerState) == Owned {
 			// Dirty data moves to the requester; no L2 writeback needed.
 			resp.PeerWriteback = false
 		}
 	}
-	for c := 0; c < cache.MaxCores; c++ {
-		if e.sharers.Has(c) && c != core {
-			resp.Invalidations++
-		}
-	}
+	resp.Invalidations += (e.sharers &^ (1 << core)).Count()
 	d.stats.Invalidations += uint64(resp.Invalidations)
 	e.owner = int8(core)
-	e.ownerState = Modified
+	e.ownerState = uint8(Modified)
 	e.sharers = 0
 	return resp
 }
@@ -209,14 +293,10 @@ func (d *Directory) OnUpgrade(core int, addr trace.Addr) Response {
 	if e.owner >= 0 && int(e.owner) != core {
 		resp.Invalidations++
 	}
-	for c := 0; c < cache.MaxCores; c++ {
-		if e.sharers.Has(c) && c != core {
-			resp.Invalidations++
-		}
-	}
+	resp.Invalidations += (e.sharers &^ (1 << core)).Count()
 	d.stats.Invalidations += uint64(resp.Invalidations)
 	e.owner = int8(core)
-	e.ownerState = Modified
+	e.ownerState = uint8(Modified)
 	e.sharers = 0
 	return resp
 }
@@ -224,59 +304,74 @@ func (d *Directory) OnUpgrade(core int, addr trace.Addr) Response {
 // OnWriteHitOwner promotes an E copy to M on a write hit (silent upgrade in
 // hardware; the directory records it so writeback accounting stays right).
 func (d *Directory) OnWriteHitOwner(core int, addr trace.Addr) {
-	e, ok := d.blocks[addr]
-	if !ok || int(e.owner) != core {
+	i, ok := d.find(addr)
+	if !ok || int(d.slots[i].owner) != core {
 		return
 	}
-	if e.ownerState == Exclusive {
-		e.ownerState = Modified
+	if State(d.slots[i].ownerState) == Exclusive {
+		d.slots[i].ownerState = uint8(Modified)
 	}
 }
 
 // OnL1Evict removes core's copy. It returns true when the eviction must
 // write dirty data back to the L2 (the copy was M or O).
 func (d *Directory) OnL1Evict(core int, addr trace.Addr) (writeback bool) {
-	e, ok := d.blocks[addr]
+	i, ok := d.find(addr)
 	if !ok {
 		return false
 	}
+	e := &d.slots[i]
 	if int(e.owner) == core {
-		writeback = e.ownerState == Modified || e.ownerState == Owned
+		writeback = State(e.ownerState) == Modified || State(e.ownerState) == Owned
 		if writeback {
 			d.stats.Writebacks++
 		}
 		e.owner = -1
-		e.ownerState = Invalid
+		e.ownerState = uint8(Invalid)
 	} else {
 		e.sharers &^= 1 << core
 	}
 	if e.empty() {
-		delete(d.blocks, addr)
+		d.deleteAt(i)
 	}
 	return writeback
 }
 
 // OnL2Evict enforces inclusion: every L1 copy of addr is invalidated. It
 // returns the cores that lost a copy and whether dirty data must be written
-// back to memory.
+// back to memory. The returned slice is freshly allocated; hot paths should
+// prefer OnL2EvictAppend with a reused buffer.
 func (d *Directory) OnL2Evict(addr trace.Addr) (invalidated []int, writeback bool) {
-	e, ok := d.blocks[addr]
+	return d.OnL2EvictAppend(addr, nil)
+}
+
+// OnL2EvictAppend is the allocation-free form of OnL2Evict: the invalidated
+// cores (owner first, then sharers in core order) are appended to dst,
+// which is returned. Passing a buffer truncated to zero length makes the
+// back-invalidation path allocation-free once the buffer has grown to the
+// sharer high-water mark.
+func (d *Directory) OnL2EvictAppend(addr trace.Addr, dst []int) (invalidated []int, writeback bool) {
+	i, ok := d.find(addr)
 	if !ok {
-		return nil, false
+		return dst, false
 	}
+	e := &d.slots[i]
+	n := 0
 	if e.owner >= 0 {
-		invalidated = append(invalidated, int(e.owner))
-		if e.ownerState == Modified || e.ownerState == Owned {
+		dst = append(dst, int(e.owner))
+		n++
+		if State(e.ownerState) == Modified || State(e.ownerState) == Owned {
 			writeback = true
 			d.stats.Writebacks++
 		}
 	}
 	for c := 0; c < cache.MaxCores; c++ {
 		if e.sharers.Has(c) {
-			invalidated = append(invalidated, c)
+			dst = append(dst, c)
+			n++
 		}
 	}
-	d.stats.Invalidations += uint64(len(invalidated))
-	delete(d.blocks, addr)
-	return invalidated, writeback
+	d.stats.Invalidations += uint64(n)
+	d.deleteAt(i)
+	return dst, writeback
 }

@@ -16,5 +16,5 @@ func (d *Directory) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.RegisterFunc(prefix+".invalidations", func() float64 { return float64(d.stats.Invalidations) })
 	reg.RegisterFunc(prefix+".cache_transfers", func() float64 { return float64(d.stats.CacheTransfers) })
 	reg.RegisterFunc(prefix+".writebacks", func() float64 { return float64(d.stats.Writebacks) })
-	reg.RegisterFunc(prefix+".entries", func() float64 { return float64(len(d.blocks)) })
+	reg.RegisterFunc(prefix+".entries", func() float64 { return float64(d.Entries()) })
 }

@@ -15,6 +15,7 @@ package msa
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bankaware/internal/trace"
 )
@@ -69,17 +70,37 @@ func BaselineHardware() Config {
 }
 
 // Profiler is one core's MSA stack-distance monitor.
+//
+// Each sampled set keeps its LRU stack as a circular buffer of tags (MRU at
+// the rotating start pointer), fronted by a packed word vector of one-byte
+// tag signatures scanned eight lanes at a time with SWAR arithmetic. The
+// scan answers presence without touching full tags (a lane matches a wrong
+// tag with probability 2^-7, costing one confirming load); a miss — the
+// common case under set sampling — then just decrements the start pointer
+// and overwrites the old LRU slot in place, which retires the evicted tag
+// and its signature with no list surgery, no hash-table deletion and no
+// memmove. Only a confirmed hit shifts elements, and only the depth-long
+// prefix — instead of the old implementation's O(MaxWays) work either way.
 type Profiler struct {
-	cfg       Config
-	tagMask   uint64
-	setMask   uint64
-	setShift  uint
-	stacks    [][]uint64 // per sampled set: tags, MRU first
-	counters  []uint64   // [0..MaxWays-1] hit depth, [MaxWays] misses
-	accesses  uint64
-	sampled   uint64
-	scale     float64 // sampling scale factor (2^SampleLog2)
-	shiftSets uint    // log2(Sets), for tag extraction
+	cfg      Config
+	tagMask  uint64
+	setMask  uint64
+	counters []uint64 // [0..MaxWays-1] hit depth, [MaxWays] misses
+	accesses uint64
+	sampled  uint64
+	scale    float64 // sampling scale factor (2^SampleLog2)
+
+	// Per-sampled-set circular stacks: set si owns tag slots
+	// [si*MaxWays, (si+1)*MaxWays) and signature words [si*sigWords,
+	// (si+1)*sigWords) — slot n's signature is byte n%8 of word n/8.
+	// Logical depth d lives at physical slot (start+d) mod MaxWays; slots
+	// not yet filled hold signature 0, filtered by a liveness depth test.
+	tags     []uint64
+	sig      []uint64
+	meta     []uint32 // per sampled set: MRU slot (low 16) | live entries (high 16)
+	sigWords int      // ceil(MaxWays/8)
+
+	shiftSets uint // log2(Sets), for tag extraction
 }
 
 // NewProfiler builds a profiler for cfg.
@@ -88,12 +109,16 @@ func NewProfiler(cfg Config) (*Profiler, error) {
 		return nil, err
 	}
 	nSampled := cfg.Sets >> cfg.SampleLog2
+	sigWords := (cfg.MaxWays + 7) / 8
 	p := &Profiler{
 		cfg:      cfg,
 		setMask:  uint64(cfg.Sets - 1),
-		stacks:   make([][]uint64, nSampled),
 		counters: make([]uint64, cfg.MaxWays+1),
 		scale:    float64(int(1) << cfg.SampleLog2),
+		tags:     make([]uint64, nSampled*cfg.MaxWays),
+		sig:      make([]uint64, nSampled*sigWords),
+		meta:     make([]uint32, nSampled),
+		sigWords: sigWords,
 	}
 	for s := uint(0); 1<<s < cfg.Sets; s++ {
 		p.shiftSets = s + 1
@@ -105,6 +130,19 @@ func NewProfiler(cfg Config) (*Profiler, error) {
 	}
 	return p, nil
 }
+
+// sigOf hashes a tag to a full byte signature. Unfilled slots also hold a
+// byte (0) a signature can legitimately equal; the access path filters
+// those with a liveness depth test rather than reserving a bit here.
+func sigOf(tag uint64) uint64 {
+	return tag * 0x9e3779b97f4a7c15 >> 56
+}
+
+// SWAR constants: repeated 0x01 / 0x80 bytes for lane-wise zero detection.
+const (
+	swarOnes  = 0x0101010101010101
+	swarHighs = 0x8080808080808080
+)
 
 // MustProfiler is NewProfiler that panics on bad configuration.
 func MustProfiler(cfg Config) *Profiler {
@@ -128,31 +166,90 @@ func (p *Profiler) Access(addr trace.Addr) {
 	}
 	p.sampled++
 	tag := (blk >> p.shiftSets) & p.tagMask
-	idx := set >> p.cfg.SampleLog2
-	stack := p.stacks[idx]
+	si := int(set >> p.cfg.SampleLog2)
 
-	// Find the tag's depth in the LRU stack.
-	depth := -1
-	for i, t := range stack {
-		if t == tag {
-			depth = i
-			break
+	// SWAR signature scan, eight slots per word. Per word, four arithmetic
+	// ops answer "does any lane match"; the no-match branch is taken for
+	// almost every word of almost every access, so it predicts perfectly
+	// and the scan runs at memory speed. A matching lane — a hit, or a
+	// 2^-8 false positive per live slot — is confirmed against the slot's
+	// liveness and full tag before it counts.
+	ss := p.sig[si*p.sigWords : (si+1)*p.sigWords]
+	tbase := si * p.cfg.MaxWays
+	sb := sigOf(tag)
+	target := sb * swarOnes
+	mt := p.meta[si]
+	st, ln := int(mt&0xFFFF), int(mt>>16)
+	for w, sw := range ss {
+		x := sw ^ target
+		m := (x - swarOnes) &^ x & swarHighs
+		for m != 0 {
+			slot := w<<3 + bits.TrailingZeros64(m)>>3
+			// A lane can match a dead slot (signatures are full bytes,
+			// and empty slots hold 0): the depth test filters unfilled
+			// slots and the final word's padding lanes past MaxWays.
+			depth := slot - st
+			if depth < 0 {
+				depth += p.cfg.MaxWays
+			}
+			if depth < ln && slot < p.cfg.MaxWays && p.tags[tbase+slot] == tag {
+				p.hitAt(st, tbase, ss, slot, depth)
+				return
+			}
+			m &= m - 1
 		}
 	}
-	switch {
-	case depth >= 0:
-		p.counters[depth]++
-		copy(stack[1:depth+1], stack[:depth])
-		stack[0] = tag
-	default:
-		p.counters[p.cfg.MaxWays]++ // beyond tracked capacity: a miss
-		if len(stack) < p.cfg.MaxWays {
-			stack = append(stack, 0)
-		}
-		copy(stack[1:], stack)
-		stack[0] = tag
-		p.stacks[idx] = stack
+
+	// Miss: rotate the MRU pointer back one slot and claim it. When the
+	// stack is full that slot is exactly the old LRU entry, so writing the
+	// new tag and signature over it is the entire eviction.
+	p.counters[p.cfg.MaxWays]++
+	if ln < p.cfg.MaxWays {
+		ln++
 	}
+	if st == 0 {
+		st = p.cfg.MaxWays
+	}
+	st--
+	p.meta[si] = uint32(st) | uint32(ln)<<16
+	p.tags[tbase+st] = tag
+	sigSet(ss, st, sb)
+}
+
+// sigGet extracts the signature byte of slot from the packed word vector.
+func sigGet(ss []uint64, slot int) uint64 {
+	return ss[slot>>3] >> (uint(slot&7) << 3) & 0xFF
+}
+
+// sigSet stores sb as slot's signature byte in the packed word vector.
+func sigSet(ss []uint64, slot int, sb uint64) {
+	sh := uint(slot&7) << 3
+	ss[slot>>3] = ss[slot>>3]&^(0xFF<<sh) | sb<<sh
+}
+
+// hitAt counts the depth of the confirmed hit at physical slot and moves
+// it to the MRU position (st), shifting each shallower entry one slot
+// deeper — depth moves in all, walking backwards through the circular
+// buffer.
+func (p *Profiler) hitAt(st, tbase int, ss []uint64, slot, depth int) {
+	p.counters[depth]++
+	if depth == 0 {
+		return
+	}
+	tg := p.tags[tbase : tbase+p.cfg.MaxWays]
+	tag, sb := tg[slot], sigGet(ss, slot)
+	to := slot
+	for d := depth; d > 0; d-- {
+		from := to - 1
+		if from < 0 {
+			from = p.cfg.MaxWays - 1
+		}
+		tg[to] = tg[from]
+		sigSet(ss, to, sigGet(ss, from))
+		to = from
+	}
+	tg[st] = tag
+	sigSet(ss, st, sb)
 }
 
 // Accesses returns the number of accesses observed (sampled or not).
@@ -174,14 +271,24 @@ func (p *Profiler) Histogram() []uint64 {
 // for w = 0..MaxWays. Element 0 equals all sampled activity (everything
 // misses with no capacity); the curve is non-increasing.
 func (p *Profiler) MissCurve() []float64 {
-	curve := make([]float64, p.cfg.MaxWays+1)
+	return p.MissCurveInto(nil)
+}
+
+// MissCurveInto is MissCurve writing into dst, reallocating only when dst
+// is too small. It returns the (possibly grown) slice, so epoch controllers
+// can ping-pong a pair of buffers and keep repartitioning allocation-free.
+func (p *Profiler) MissCurveInto(dst []float64) []float64 {
+	if cap(dst) < p.cfg.MaxWays+1 {
+		dst = make([]float64, p.cfg.MaxWays+1)
+	}
+	dst = dst[:p.cfg.MaxWays+1]
 	acc := float64(p.counters[p.cfg.MaxWays])
-	curve[p.cfg.MaxWays] = acc * p.scale
+	dst[p.cfg.MaxWays] = acc * p.scale
 	for w := p.cfg.MaxWays - 1; w >= 0; w-- {
 		acc += float64(p.counters[w])
-		curve[w] = acc * p.scale
+		dst[w] = acc * p.scale
 	}
-	return curve
+	return dst
 }
 
 // MissRatioCurve is MissCurve normalised by the (scaled) sampled access
@@ -215,8 +322,11 @@ func (p *Profiler) Reset() {
 	for i := range p.counters {
 		p.counters[i] = 0
 	}
-	for i := range p.stacks {
-		p.stacks[i] = p.stacks[i][:0]
+	for i := range p.meta {
+		p.meta[i] = 0
+	}
+	for i := range p.sig {
+		p.sig[i] = 0
 	}
 	p.accesses, p.sampled = 0, 0
 }

@@ -166,8 +166,22 @@ type System struct {
 
 	alloc     *core.Allocation
 	coreBanks [nuca.NumCores][]int // per-core placement ring (bank repeated per owned way)
+	bankList  [nuca.NumCores][]int // per-core owned banks, unique, in bank order
 	rr        [nuca.NumCores]int
 	bankFree  [nuca.NumBanks]int64
+
+	// Repartition and back-invalidation scratch, reused across epochs and
+	// events so the steady-state step loop allocates nothing. Curve buffers
+	// come in two sets ping-ponged between epochs: lastCurves always refers
+	// to the set written one epoch ago, so the stale-profiler replay reads
+	// intact data while the other set is overwritten in place. weightBuf and
+	// ownerBuf are safe to reuse because SetFeedback and SetWayOwners copy.
+	curveSets [2][]core.MissCurve
+	curveBufs [2][nuca.NumCores][]float64
+	curveFlip int
+	weightBuf [nuca.NumCores]float64
+	ownerBuf  [nuca.WaysPerBank]cache.OwnerMask
+	invalBuf  []int
 
 	// Active fault state, refreshed at each repartition boundary from
 	// cfg.Faults: the added per-bank access latency, the failed set
@@ -324,20 +338,30 @@ func (s *System) repartition(now int64) error {
 	if newly := snap.Failed &^ s.prevFailed; newly != 0 {
 		for _, b := range newly.Banks() {
 			for _, addr := range s.banks[b].Clear() {
-				invalidated, _ := s.dir.OnL2Evict(addr)
+				var invalidated []int
+				invalidated, _ = s.dir.OnL2EvictAppend(addr, s.invalBuf[:0])
+				s.invalBuf = invalidated
 				for _, p := range invalidated {
 					s.l1s[p].Invalidate(addr)
 				}
 			}
 		}
 	}
-	curves := make([]core.MissCurve, nuca.NumCores)
+	flip := s.curveFlip
+	s.curveFlip = 1 - flip
+	curves := s.curveSets[flip]
+	if curves == nil {
+		curves = make([]core.MissCurve, nuca.NumCores)
+		s.curveSets[flip] = curves
+	}
 	if snap.Stale && s.lastCurves != nil {
 		// Stuck profiler: the policy decides on the previous epoch's view.
 		copy(curves, s.lastCurves)
 	} else {
+		bufs := &s.curveBufs[flip]
 		for c := range curves {
-			mc := s.profs[c].MissCurve()
+			bufs[c] = s.profs[c].MissCurveInto(bufs[c])
+			mc := bufs[c]
 			if snap.NoiseAmplitude > 0 {
 				mc = msa.NoisyCurve(mc, snap.NoiseAmplitude, s.cfg.Faults.RNG(epoch, c))
 			}
@@ -379,23 +403,30 @@ func (s *System) repartition(now int64) error {
 	}
 	s.alloc = alloc
 	for b := range s.banks {
-		owners := make([]cache.OwnerMask, nuca.WaysPerBank)
+		owners := s.ownerBuf[:]
 		copy(owners, alloc.WayOwners[b][:])
 		if err := s.banks[b].SetWayOwners(owners); err != nil {
 			return err
 		}
 	}
-	// Placement rings: bank id repeated once per owned way, so Parallel
-	// round-robin allocation fills banks proportionally to the core's
-	// share in each.
+	// Placement rings (bank id repeated once per owned way, so Parallel
+	// round-robin allocation fills banks proportionally to the core's share
+	// in each) and the unique bank lists the per-access probe loops walk.
 	for c := 0; c < nuca.NumCores; c++ {
 		ring := s.coreBanks[c][:0]
-		for _, b := range alloc.BanksOf(c) {
-			for k := 0; k < alloc.WaysIn(c, b); k++ {
+		list := s.bankList[c][:0]
+		for b := 0; b < nuca.NumBanks; b++ {
+			n := alloc.WaysIn(c, b)
+			if n == 0 {
+				continue
+			}
+			list = append(list, b)
+			for k := 0; k < n; k++ {
 				ring = append(ring, b)
 			}
 		}
 		s.coreBanks[c] = ring
+		s.bankList[c] = list
 	}
 	// Latency faults apply until the next boundary recomputes them.
 	s.bankExtra = snap.BankExtra
@@ -424,7 +455,10 @@ func (s *System) repartition(now int64) error {
 // Cores whose misses queued longest get weights above one. Cores with no
 // misses report zero (FeedbackPolicy keeps their previous weight).
 func (s *System) missCostWeights() []float64 {
-	avg := make([]float64, nuca.NumCores)
+	avg := s.weightBuf[:]
+	for c := range avg {
+		avg[c] = 0
+	}
 	var sum float64
 	var n int
 	for c := range avg {
@@ -544,7 +578,7 @@ func (s *System) applyInvalidations(c int, addr trace.Addr) {
 // one of the core's partition banks it is refreshed dirty there; otherwise
 // the line goes to memory.
 func (s *System) writebackToL2(c int, addr trace.Addr, now int64) {
-	for _, b := range s.alloc.BanksOf(c) {
+	for _, b := range s.bankList[c] {
 		if s.banks[b].Probe(addr) {
 			s.banks[b].Insert(addr, c, true)
 			return
@@ -579,7 +613,7 @@ func (s *System) l2Access(c int, addr trace.Addr, write bool, issueAt int64) int
 		// directory identifies the owning bank; misses allocate
 		// round-robin proportionally to the core's per-bank share.
 		target = -1
-		for _, b := range s.alloc.BanksOf(c) {
+		for _, b := range s.bankList[c] {
 			if s.banks[b].ProbeFor(addr, c) {
 				target = b
 				break
@@ -607,7 +641,8 @@ func (s *System) l2Access(c int, addr trace.Addr, write bool, issueAt int64) int
 	}
 	if res.VictimValid {
 		// Inclusive hierarchy: back-invalidate L1 copies of the victim.
-		invalidated, wb := s.dir.OnL2Evict(res.VictimAddr)
+		invalidated, wb := s.dir.OnL2EvictAppend(res.VictimAddr, s.invalBuf[:0])
+		s.invalBuf = invalidated
 		for _, p := range invalidated {
 			s.l1s[p].Invalidate(res.VictimAddr)
 		}

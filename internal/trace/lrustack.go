@@ -16,7 +16,13 @@ type lruStack struct {
 	root *treapNode
 	rng  *stats.RNG
 	free []*treapNode // recycled nodes, to keep allocation off the hot path
+	slab []treapNode  // bulk node arena, handed out one node at a time
 }
+
+// nodeSlab is how many treap nodes one arena allocation holds. Working-set
+// growth touches a new node per cold block; carving nodes out of slabs keeps
+// that growth from costing one heap allocation each.
+const nodeSlab = 1024
 
 type treapNode struct {
 	left, right *treapNode
@@ -78,12 +84,17 @@ func (s *lruStack) Len() int { return size(s.root) }
 // PushFront makes addr the most recently used block.
 func (s *lruStack) PushFront(addr Addr) {
 	var n *treapNode
-	if len(s.free) > 0 {
+	switch {
+	case len(s.free) > 0:
 		n = s.free[len(s.free)-1]
 		s.free = s.free[:len(s.free)-1]
 		*n = treapNode{}
-	} else {
-		n = &treapNode{}
+	default:
+		if len(s.slab) == 0 {
+			s.slab = make([]treapNode, nodeSlab)
+		}
+		n = &s.slab[0]
+		s.slab = s.slab[1:]
 	}
 	n.addr = addr
 	n.prio = s.rng.Uint64()
