@@ -421,6 +421,10 @@ func BenchmarkSystemStep(b *testing.B) { benchmarks.SystemStep(b) }
 // BenchmarkMSHRFill measures the MSHR allocate/merge/complete/release cycle.
 func BenchmarkMSHRFill(b *testing.B) { benchmarks.MSHRFill(b) }
 
+// BenchmarkServiceSubmitThroughput measures the bankawared daemon's durable
+// job-intake path: HTTP submit, strict decode, fsynced record, queue push.
+func BenchmarkServiceSubmitThroughput(b *testing.B) { benchmarks.ServiceSubmitThroughput(b) }
+
 // BenchmarkGeneratorNext measures the stack-distance workload generator.
 func BenchmarkGeneratorNext(b *testing.B) {
 	g := trace.MustGenerator(trace.MustSpec("bzip2"), stats.NewRNG(5, 6), trace.GeneratorConfig{})

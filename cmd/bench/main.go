@@ -6,7 +6,7 @@
 // Typical uses:
 //
 //	go run ./cmd/bench -count 5 -out bench.json          # record a run
-//	go run ./cmd/bench -count 5 -compare BENCH_4.json    # CI regression gate
+//	go run ./cmd/bench -count 5 -compare BENCH_5.json    # CI regression gate
 //	go run ./cmd/bench -count 5 -text bench.txt          # benchstat samples
 //
 // The gate fails (exit 1) when any benchmark's median-of-count ns/op exceeds
@@ -25,6 +25,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"bankaware/internal/benchmarks"
@@ -67,6 +68,7 @@ var suite = []struct {
 	{"DirectoryAccess", benchmarks.DirectoryAccess},
 	{"MSHRFill", benchmarks.MSHRFill},
 	{"SystemStep", benchmarks.SystemStep},
+	{"ServiceSubmitThroughput", benchmarks.ServiceSubmitThroughput},
 }
 
 func main() {
@@ -195,9 +197,16 @@ func gate(got File, baselinePath string, threshold float64) []string {
 		if !ok {
 			continue
 		}
-		if limit := b.NsPerOp * (1 + threshold/100); r.NsPerOp > limit {
+		// Service* benches are fsync- and network-bound (durable job
+		// intake), an order of magnitude noisier across runners than the
+		// CPU-bound simulator paths; they gate at 5x the threshold.
+		pct := threshold
+		if strings.HasPrefix(r.Name, "Service") {
+			pct = threshold * 5
+		}
+		if limit := b.NsPerOp * (1 + pct/100); r.NsPerOp > limit {
 			failures = append(failures, fmt.Sprintf("%s: %.2f ns/op vs baseline %.2f (+%.1f%%, limit +%g%%)",
-				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), threshold))
+				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), pct))
 		}
 		// Allocation-free benches must stay allocation-free, exactly. A bench
 		// with residual allocations (e.g. SystemStep's working-set growth,

@@ -25,8 +25,19 @@ func main() {
 		ptrBits   = flag.Int("ptrbits", 6, "LRU stack pointer width in bits")
 		profilers = flag.Int("profilers", 8, "per-core profilers on chip")
 		report    = flag.String("report", "", "write the overhead model as a JSON report to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		srv, err := metrics.StartDebugServer(*pprofAddr, metrics.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "overhead:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof\n", srv.Addr())
+	}
 
 	var rep *metrics.Report
 	if *report != "" {

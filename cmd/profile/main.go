@@ -31,6 +31,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort profiling after this duration (0 = none)")
 		progress  = flag.Bool("progress", false, "render a live progress line on stderr")
 		report    = flag.String("report", "", "write the profiled histogram/curves as a JSON report to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
 	)
 	flag.Parse()
 	if !*fig2 && !*fig3 {
@@ -53,6 +54,16 @@ func main() {
 	opt := experiments.Options{Workers: *parallel}
 	if *progress {
 		opt.Progress = runner.Printer(os.Stderr, "workloads")
+	}
+	if *pprofAddr != "" {
+		reg := metrics.NewRegistry()
+		opt.Progress = runner.CountInto(reg, opt.Progress)
+		srv, err := metrics.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof\n", srv.Addr())
 	}
 
 	if *fig2 {

@@ -21,16 +21,26 @@ import (
 
 func main() {
 	var (
-		record   = flag.String("record", "", "record a catalog workload to this trace file")
-		workload = flag.String("workload", "gzip", "catalog workload to record")
-		accesses = flag.Int("accesses", 1_000_000, "events to record")
-		seed     = flag.Uint64("seed", 1, "generator seed")
-		bpw      = flag.Int("blocksperway", trace.DefaultBlocksPerWay, "blocks per way-equivalent")
-		info     = flag.String("info", "", "print summary statistics of a trace file")
-		curve    = flag.String("curve", "", "profile a trace file and print its miss-ratio curve")
-		report   = flag.String("report", "", "with -info or -curve: also write a JSON report to this file")
+		record    = flag.String("record", "", "record a catalog workload to this trace file")
+		workload  = flag.String("workload", "gzip", "catalog workload to record")
+		accesses  = flag.Int("accesses", 1_000_000, "events to record")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		bpw       = flag.Int("blocksperway", trace.DefaultBlocksPerWay, "blocks per way-equivalent")
+		info      = flag.String("info", "", "print summary statistics of a trace file")
+		curve     = flag.String("curve", "", "profile a trace file and print its miss-ratio curve")
+		report    = flag.String("report", "", "with -info or -curve: also write a JSON report to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		srv, err := metrics.StartDebugServer(*pprofAddr, metrics.NewRegistry())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof\n", srv.Addr())
+	}
 
 	var rep *metrics.Report
 	if *report != "" {

@@ -1,0 +1,58 @@
+package benchmarks
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"bankaware/internal/service"
+)
+
+// ServiceSubmitThroughput measures the daemon's full job-intake path —
+// HTTP round-trip, strict spec decode, durable (fsynced) record write and
+// priority-queue insert — with no executors attached, so the number is
+// pure intake cost. It is fsync-bound by design: accepting a job durably
+// IS the measured contract (a 202 must survive a crash), which also makes
+// it far noisier than the CPU-bound simulator benches — the perf gate
+// applies a relaxed threshold to Service* entries.
+func ServiceSubmitThroughput(b *testing.B) {
+	// os.MkdirTemp, not b.TempDir: cmd/bench drives this body through
+	// testing.Benchmark, where cleanup-based helpers are unavailable.
+	dir, err := os.MkdirTemp("", "bench-service-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	svc, err := service.New(service.Config{Dir: dir, QueueCap: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Not started: jobs accumulate in the queue, none execute.
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	body := []byte(`{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":100}}`)
+	client := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit -> %d, want 202", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "submits/sec")
+	}
+}

@@ -37,6 +37,14 @@ type Options struct {
 	// partition events per run). Observation never changes simulated
 	// outcomes, only what gets recorded.
 	Observe bool
+	// Sample, when non-nil, receives every epoch sample live as the
+	// simulations append it, tagged with the run it belongs to
+	// ("set<N>/<policy>" in the Figs. 8/9 campaign, the policy name in a
+	// single-set run). Jobs run concurrently, so the hook must be safe for
+	// concurrent use and must not block. Sampling attaches the recorder but
+	// — unlike Observe — does not retain run reports in the results, so the
+	// campaign's outcome and report bytes are identical with or without it.
+	Sample func(run string, s metrics.EpochSample)
 	// Faults injects the fault plan into every simulation (see
 	// sim.Config.Faults): banks fail or slow down at the scheduled epochs
 	// and the policies re-partition around them. Nil runs healthy.
@@ -54,6 +62,14 @@ func (o Options) runnerConfig() runner.Config {
 		Workers: o.Workers, Progress: o.Progress,
 		Retries: o.Retries, RetryBackoff: o.RetryBackoff, JobTimeout: o.JobTimeout,
 	}
+}
+
+// sampler adapts the campaign-level Sample hook to one run's live tap.
+func (o Options) sampler(run string) func(metrics.EpochSample) {
+	if o.Sample == nil {
+		return nil
+	}
+	return func(s metrics.EpochSample) { o.Sample(run, s) }
 }
 
 func (o Options) apply(cfg sim.Config) sim.Config {
@@ -167,14 +183,17 @@ type policyRun struct {
 // runPolicy executes one full simulation — warm-up, stats reset, measured
 // phase — under its own clone of the policy prototype. With observe set it
 // also attaches the metrics layer and exports the run report covering the
-// measurement window.
-func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, observe bool) (policyRun, error) {
+// measurement window; sample, when non-nil, taps the measured phase's epoch
+// samples live.
+func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, observe bool, sample func(metrics.EpochSample)) (policyRun, error) {
 	sys, err := sim.New(cfg, core.ClonePolicy(proto), specs)
 	if err != nil {
 		return policyRun{}, err
 	}
+	var rec *metrics.Recorder
 	if observe {
-		sys.EnableMetrics(nil)
+		rec = metrics.NewRecorder()
+		sys.EnableMetrics(rec)
 	}
 	// Warm-up covers working-set build-up and the first epochs of
 	// dynamic adaptation, like the paper's fast-forward + warm-up.
@@ -182,6 +201,11 @@ func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto co
 		return policyRun{}, err
 	}
 	sys.ResetStats()
+	if rec != nil {
+		// Tap only the measurement window: warm-up samples are dropped by
+		// the stats reset anyway and would confuse live consumers.
+		rec.OnSample = sample
+	}
 	if err := sys.RunContext(ctx, instructions); err != nil {
 		return policyRun{}, err
 	}
@@ -217,14 +241,19 @@ func RunSetContext(ctx context.Context, cfg sim.Config, set int, workloads []str
 		return nil, err
 	}
 	protos := setPolicyPrototypes()
+	observe := opt.Observe || opt.Sample != nil
 	runs, err := runner.Map(ctx, opt.runnerConfig(),
 		len(protos), func(ctx context.Context, job int) (policyRun, error) {
-			return runPolicy(ctx, cfg, specs, protos[job], workloads, instructions, opt.Observe)
+			return runPolicy(ctx, cfg, specs, protos[job], workloads, instructions, observe,
+				opt.sampler(protos[job].Name()))
 		})
 	if err != nil {
 		return nil, err
 	}
 	r := newSetResult(set, workloads, runs[0].result, runs[1].result, runs[2].result)
+	// Reports are retained only under explicit Observe: a Sample hook alone
+	// attaches the recorder for its live tap but leaves the campaign result
+	// — and so the emitted report bytes — exactly as an unobserved run.
 	if opt.Observe {
 		for _, run := range runs {
 			r.Reports = append(r.Reports, run.report)
@@ -266,6 +295,7 @@ func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, o
 	}
 	const policies = 3
 	protos := setPolicyPrototypes()
+	observe := opt.Observe || opt.Sample != nil
 	jobs := len(TableIIISets) * policies
 	runs, err := runner.Map(ctx, opt.runnerConfig(),
 		jobs, func(ctx context.Context, job int) (policyRun, error) {
@@ -274,7 +304,8 @@ func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, o
 			if err != nil {
 				return policyRun{}, err
 			}
-			r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, opt.Observe)
+			r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, observe,
+				opt.sampler(fmt.Sprintf("set%d/%s", set+1, protos[pol].Name())))
 			if err != nil {
 				return policyRun{}, fmt.Errorf("set %d (%s): %w", set+1, protos[pol].Name(), err)
 			}
@@ -289,6 +320,8 @@ func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, o
 	for i := range TableIIISets {
 		r := newSetResult(i+1, TableIIISets[i][:],
 			runs[i*policies].result, runs[i*policies+1].result, runs[i*policies+2].result)
+		// Like RunSetContext: only explicit Observe retains reports, so a
+		// live Sample tap never changes the campaign's emitted bytes.
 		if opt.Observe {
 			for p := 0; p < policies; p++ {
 				r.Reports = append(r.Reports, runs[i*policies+p].report)

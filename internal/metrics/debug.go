@@ -19,15 +19,12 @@ type DebugServer struct {
 	ln  net.Listener
 }
 
-// StartDebugServer listens on addr (e.g. "localhost:6060") and serves
-// diagnostics in a background goroutine. reg may be nil, in which case
-// /debug/metrics serves an empty object. The caller should Close the
-// server on shutdown; serving errors after Close are swallowed.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// DebugMux returns the diagnostics mux on its own: the pprof handlers, the
+// process expvars, and the /debug/metrics snapshot of reg (which may be
+// nil). StartDebugServer serves exactly this mux; long-running servers (the
+// service layer) mount the same handlers on their API listener instead of
+// opening a second port.
+func DebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -45,8 +42,20 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(snap)
 	})
+	return mux
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060") and serves
+// diagnostics in a background goroutine. reg may be nil, in which case
+// /debug/metrics serves an empty object. The caller should Close the
+// server on shutdown; serving errors after Close are swallowed.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
 	ds := &DebugServer{
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: DebugMux(reg), ReadHeaderTimeout: 5 * time.Second},
 		ln:  ln,
 	}
 	go ds.srv.Serve(ln)

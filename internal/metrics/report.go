@@ -186,6 +186,12 @@ type Recorder struct {
 	Samples  []EpochSample
 	Events   []PartitionEvent
 	Faults   []FaultEvent
+
+	// OnSample, when non-nil, is invoked with each epoch sample as the
+	// simulator appends it — the live tap streaming consumers (the service
+	// layer's SSE endpoint) attach to. The callback runs on the simulation
+	// goroutine and must not block; it never affects what gets recorded.
+	OnSample func(EpochSample)
 }
 
 // NewRecorder returns a recorder with a fresh registry.

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	"bankaware/internal/metrics"
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/jobs            submit a job spec    -> 202 JobRecord
+//	GET  /v1/jobs            list jobs            -> 200 [JobRecord]
+//	GET  /v1/jobs/{id}       one job              -> 200 JobRecord
+//	GET  /v1/jobs/{id}/report  finished report    -> 200 (stored bytes, verbatim)
+//	GET  /v1/jobs/{id}/events  live SSE stream (Last-Event-ID replay)
+//	POST /v1/jobs/{id}/cancel  cancel             -> 200 JobRecord
+//	GET  /v1/diff?a=ID&b=ID  compare two reports  -> 200 {identical, differences}
+//	GET  /healthz            liveness + drain state
+//	/debug/...               pprof, expvar, service metrics
+//
+// Submissions are rejected with 400 (malformed spec), 429 (queue full) or
+// 503 (draining).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/diff", s.handleDiff)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("/debug/", metrics.DebugMux(s.reg))
+	return mux
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError emits {"error": ...} with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := DecodeJobSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rec, err := s.Submit(*spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, rec)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Jobs())
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if rec.State != StateDone {
+		writeError(w, http.StatusConflict, "job %s has no report (state %s)", id, rec.State)
+		return
+	}
+	data, err := s.store.ReportBytes(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading report: %v", err)
+		return
+	}
+	// Serve the stored file verbatim: the response body is byte-identical
+	// to the report a direct bankaware.Runner run would have written.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	rec, ok = s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusConflict, "job %s is %s, not cancellable", id, rec.State)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
+	}
+	jb := s.runtime(id)
+	if jb == nil {
+		// The job reached a terminal state under a previous daemon; there is
+		// no live stream, only the final state.
+		writeSSE(w, event{ID: 1, Type: EventState, Data: mustJSON(stateEvent{State: rec.State, Detail: rec.Error})})
+		fl.Flush()
+		return
+	}
+	for {
+		evs, more := jb.hub.next(after, r.Context().Done())
+		for _, ev := range evs {
+			writeSSE(w, ev)
+			after = ev.ID
+		}
+		fl.Flush()
+		if !more || r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+// writeSSE renders one frame in the text/event-stream format.
+func writeSSE(w http.ResponseWriter, ev event) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, ev.Data)
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return []byte("{}")
+	}
+	return data
+}
+
+func (s *Service) handleDiff(w http.ResponseWriter, r *http.Request) {
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		writeError(w, http.StatusBadRequest, "diff needs ?a=<job>&b=<job>")
+		return
+	}
+	ra, err := s.readReport(a)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	rb, err := s.readReport(b)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	diffs := metrics.Diff(ra, rb)
+	if diffs == nil {
+		diffs = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"a": a, "b": b, "identical": len(diffs) == 0, "differences": diffs,
+	})
+}
+
+func (s *Service) readReport(id string) (*metrics.Report, error) {
+	rec, ok := s.store.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("no job %q", id)
+	}
+	if rec.State != StateDone {
+		return nil, fmt.Errorf("job %s has no report (state %s)", id, rec.State)
+	}
+	f, err := os.Open(s.store.ReportPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("reading report for %s: %w", id, err)
+	}
+	defer f.Close()
+	return metrics.ReadReport(f)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	s.mu.Lock()
+	running := len(s.running)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"queued":  s.queue.depth(),
+		"running": running,
+	})
+}

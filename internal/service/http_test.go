@@ -1,0 +1,387 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startHTTP boots a service (Start included unless told otherwise) behind
+// an httptest server.
+func startHTTP(t *testing.T, cfg Config, start bool) (*Service, *httptest.Server) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start {
+		if err := svc.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, JobRecord) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec JobRecord
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, rec
+}
+
+func TestHTTPSubmitMalformed(t *testing.T) {
+	_, ts := startHTTP(t, Config{}, false)
+	for _, body := range []string{``, `{`, `{"kind":"warp"}`, `{"kind":"set","set":{"set":42}}`} {
+		resp, _ := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q -> %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPNotFound(t *testing.T) {
+	_, ts := startHTTP(t, Config{}, false)
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/report", "/v1/jobs/nope/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s -> %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	// No executors: the queue fills deterministically.
+	_, ts := startHTTP(t, Config{QueueCap: 1}, false)
+	spec := `{"kind":"montecarlo","montecarlo":{"trials":5}}`
+	if resp, _ := postJob(t, ts, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit -> %d, want 202", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, ts, spec); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit -> %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestHTTPDraining503(t *testing.T) {
+	svc, ts := startHTTP(t, Config{}, true)
+	svc.Drain(context.Background()) // returns at once: nothing in flight
+	resp, _ := postJob(t, ts, `{"kind":"montecarlo","montecarlo":{"trials":5}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining -> %d, want 503", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health.Status != "draining" {
+		t.Fatalf("healthz status %q, want draining", health.Status)
+	}
+}
+
+func TestHTTPCancelAndConflicts(t *testing.T) {
+	_, ts := startHTTP(t, Config{}, false)
+	_, rec := postJob(t, ts, `{"kind":"montecarlo","montecarlo":{"trials":5}}`)
+
+	// A queued job has no report yet.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("report of queued job -> %d, want 409", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+rec.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobRecord
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || got.State != StateCanceled {
+		t.Fatalf("cancel -> %d state %s, want 200 canceled", resp.StatusCode, got.State)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+rec.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second cancel -> %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestHTTPListAndGet(t *testing.T) {
+	_, ts := startHTTP(t, Config{}, false)
+	_, a := postJob(t, ts, `{"kind":"montecarlo","label":"first","montecarlo":{"trials":5}}`)
+	_, b := postJob(t, ts, `{"kind":"montecarlo","label":"second","montecarlo":{"trials":5}}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []JobRecord
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(all) != 2 || all[0].ID != a.ID || all[1].ID != b.ID {
+		t.Fatalf("list = %+v, want [%s %s] in submission order", all, a.ID, b.ID)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobRecord
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.ID != b.ID || got.Spec.Label != "second" {
+		t.Fatalf("get = %+v, want %s/second", got, b.ID)
+	}
+}
+
+// sseEvent is one parsed text/event-stream frame.
+type sseEvent struct {
+	id, typ, data string
+}
+
+// readSSE consumes a stream until it ends, returning the frames.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	var (
+		evs []sseEvent
+		cur sseEvent
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			evs = append(evs, cur)
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			cur.typ = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func countTypes(evs []sseEvent) map[string]int {
+	n := map[string]int{}
+	for _, ev := range evs {
+		n[ev.typ]++
+	}
+	return n
+}
+
+func TestHTTPEventsStreamMonteCarlo(t *testing.T) {
+	_, ts := startHTTP(t, Config{Workers: 2}, true)
+	_, rec := postJob(t, ts, `{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":30}}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := readSSE(t, resp)
+	n := countTypes(evs)
+	if n[EventProgress] == 0 {
+		t.Fatalf("no progress events in stream: %v", n)
+	}
+	last := evs[len(evs)-1]
+	if last.typ != EventState || !strings.Contains(last.data, StateDone) {
+		t.Fatalf("stream ended with %s %q, want final state done", last.typ, last.data)
+	}
+
+	// Replay: reconnecting with Last-Event-ID skips everything already seen.
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+rec.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", evs[len(evs)-2].id)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := readSSE(t, resp)
+	if len(replay) != 1 || replay[0].id != last.id {
+		t.Fatalf("replay after %s returned %d events, want exactly the final one", evs[len(evs)-2].id, len(replay))
+	}
+}
+
+func TestHTTPDiff(t *testing.T) {
+	svc, ts := startHTTP(t, Config{Workers: 2}, true)
+	_, a := postJob(t, ts, `{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":25}}`)
+	_, b := postJob(t, ts, `{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":25}}`)
+	_, c := postJob(t, ts, `{"kind":"montecarlo","seed":7,"montecarlo":{"trials":25}}`)
+	waitState(t, svc, a.ID, StateDone)
+	waitState(t, svc, b.ID, StateDone)
+	waitState(t, svc, c.ID, StateDone)
+
+	var out struct {
+		Identical   bool     `json:"identical"`
+		Differences []string `json:"differences"`
+	}
+	get := func(x, y string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/v1/diff?a=%s&b=%s", ts.URL, x, y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("diff -> %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	get(a.ID, b.ID)
+	if !out.Identical {
+		t.Fatalf("same-seed reports differ: %v", out.Differences)
+	}
+	get(a.ID, c.ID)
+	if out.Identical {
+		t.Fatal("different-seed reports reported identical")
+	}
+}
+
+// TestHTTPGoldenSetJobEndToEnd is the acceptance e2e: submit the pinned
+// fixed-seed set-1 job over HTTP, watch live progress and epoch samples on
+// the SSE stream, and require the fetched report to be byte-identical to
+// the repository's golden file (itself produced by a direct
+// bankaware.Runner run) — then restart the daemon over the same store and
+// require it to serve the identical bytes without re-running anything.
+func TestHTTPGoldenSetJobEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full set evaluation in -short mode")
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden-set1-report.json"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+
+	dir := t.TempDir()
+	svc, ts := startHTTP(t, Config{Dir: dir, Workers: 4}, true)
+	_, rec := postJob(t, ts,
+		`{"kind":"set","observe":true,"set":{"set":1,"epochCycles":200000,"instructions":300000}}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := readSSE(t, resp)
+	n := countTypes(evs)
+	if n[EventProgress] == 0 || n[EventEpoch] == 0 {
+		t.Fatalf("SSE stream missing live events: %v (want progress and epoch frames)", n)
+	}
+	last := evs[len(evs)-1]
+	if !strings.Contains(last.data, StateDone) {
+		t.Fatalf("job finished %q, want done", last.data)
+	}
+
+	fetch := func(url string) []byte {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s -> %d", url, resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := fetch(ts.URL + "/v1/jobs/" + rec.ID + "/report")
+	if !bytes.Equal(got, golden) {
+		t.Fatal("fetched report differs from the golden direct-Runner report")
+	}
+
+	// Restart over the same store: the report must be served from disk,
+	// immediately and byte-identically.
+	ts.Close()
+	svc.Close()
+	svc2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+
+	if rec2, _ := svc2.Store().Get(rec.ID); rec2.State != StateDone {
+		t.Fatalf("restarted daemon sees state %s, want done", rec2.State)
+	}
+	start := time.Now()
+	again := fetch(ts2.URL + "/v1/jobs/" + rec.ID + "/report")
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("restarted daemon took %s to serve a stored report", d)
+	}
+	if !bytes.Equal(again, golden) {
+		t.Fatal("restarted daemon served different report bytes")
+	}
+	// The stream of a job finished under a previous daemon replays its
+	// terminal state.
+	resp, err = http.Get(ts2.URL + "/v1/jobs/" + rec.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs = readSSE(t, resp)
+	if len(evs) != 1 || evs[0].typ != EventState || !strings.Contains(evs[0].data, StateDone) {
+		t.Fatalf("restored job stream = %+v, want a single done state frame", evs)
+	}
+}

@@ -1,0 +1,451 @@
+// Package service turns the library into a long-running system: a job-queue
+// daemon that accepts partitioning-experiment jobs (single workload sets,
+// the full Figs. 8/9 campaign, Monte Carlo campaigns) over an HTTP/JSON
+// API, schedules them on a bounded executor pool with per-job priorities
+// and deadlines, streams live progress and epoch samples over SSE, and
+// persists every finished run report in a durable on-disk store so results
+// survive restarts.
+//
+// The contract is the same determinism the rest of the repository holds: a
+// job spec with a fixed seed produces a report byte-identical to running
+// the same campaign through bankaware.Runner directly, on any daemon, for
+// any worker count, drained and resumed or not.
+//
+// Lifecycle: New opens the store, Start restores interrupted jobs and
+// launches the executors, Drain stops intake and finishes or checkpoints
+// in-flight jobs (SIGTERM in cmd/bankawared), Close shuts everything down.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"bankaware/internal/metrics"
+	"bankaware/internal/runner"
+)
+
+// ErrDraining is returned by Submit once Drain has begun — the HTTP layer's
+// 503.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// Config parametrises a Service.
+type Config struct {
+	// Dir is the durable store root (jobs/, reports/, journals/).
+	Dir string
+	// Jobs bounds how many jobs execute concurrently. Default 1: jobs are
+	// whole campaigns that parallelise internally, so one at a time already
+	// saturates the machine; raise it for mixes of small jobs.
+	Jobs int
+	// QueueCap bounds the waiting queue; submissions beyond it are rejected
+	// (HTTP 429). Default 256.
+	QueueCap int
+	// Workers is the default per-job fan-out bound for specs that do not
+	// set their own; zero selects GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, observes every job's engine notifications
+	// (daemon logging, test instrumentation). Calls are serialised within a
+	// job but concurrent across jobs.
+	OnProgress func(jobID string, p runner.Progress)
+}
+
+func (c Config) jobs() int {
+	if c.Jobs < 1 {
+		return 1
+	}
+	return c.Jobs
+}
+
+func (c Config) queueCap() int {
+	if c.QueueCap < 1 {
+		return 256
+	}
+	return c.QueueCap
+}
+
+// job is the in-memory runtime of one queued or running job.
+type job struct {
+	id   string
+	seq  int
+	spec JobSpec
+	hub  *hub
+
+	mu     sync.Mutex
+	phase  string // StateQueued | StateRunning | "finished"
+	cancel context.CancelFunc
+	reason string // "" | "cancel" | "drain": why cancel was called
+}
+
+// markCancel records why the job is being stopped and fires its context
+// cancellation (when running). It reports whether the mark took (false once
+// the job already finished or carries a reason).
+func (jb *job) markCancel(reason string) bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	if jb.phase == "finished" || jb.reason != "" {
+		return false
+	}
+	jb.reason = reason
+	if jb.cancel != nil {
+		jb.cancel()
+	}
+	return true
+}
+
+// Service is the daemon: store, queue, executors and the HTTP surface
+// (Handler). Safe for concurrent use.
+type Service struct {
+	cfg   Config
+	store *Store
+	queue *jobQueue
+	reg   *metrics.Registry
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job // runtime state; terminal restored jobs absent
+	running  map[string]*job
+	draining bool
+	started  bool
+
+	wg       sync.WaitGroup // executor goroutines
+	inflight sync.WaitGroup // jobs claimed from the queue (see queue.pop)
+
+	submitted *metrics.Counter
+	rejects   *metrics.Counter
+	completed *metrics.Counter
+	failed    *metrics.Counter
+	canceled  *metrics.Counter
+}
+
+// New opens the store at cfg.Dir and assembles a stopped Service; call
+// Start to restore interrupted jobs and begin executing.
+func New(cfg Config) (*Service, error) {
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		store:      store,
+		reg:        metrics.NewRegistry(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		running:    make(map[string]*job),
+	}
+	s.queue = newJobQueue(cfg.queueCap())
+	s.queue.inflight = &s.inflight
+	s.submitted = s.reg.Counter("service.jobs_submitted")
+	s.rejects = s.reg.Counter("service.queue_rejects")
+	s.completed = s.reg.Counter("service.jobs_done")
+	s.failed = s.reg.Counter("service.jobs_failed")
+	s.canceled = s.reg.Counter("service.jobs_canceled")
+	s.reg.RegisterFunc("service.queue_depth", func() float64 { return float64(s.queue.depth()) })
+	s.reg.RegisterFunc("service.jobs_running", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.running))
+	})
+	return s, nil
+}
+
+// Registry exposes the service metrics (also served at /debug/metrics).
+func (s *Service) Registry() *metrics.Registry { return s.reg }
+
+// Store exposes the durable store (read paths; the client CLI and tests).
+func (s *Service) Store() *Store { return s.store }
+
+// Start restores every non-terminal stored job into the queue (a job that
+// was running when the previous daemon stopped re-enqueues and — for Monte
+// Carlo jobs — resumes from its checkpoint journal) and launches the
+// executor pool.
+func (s *Service) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("service: already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	for _, rec := range s.store.Jobs() {
+		if rec.Terminal() {
+			continue
+		}
+		if s.runtime(rec.ID) != nil {
+			// Submitted to this instance before Start — already queued.
+			continue
+		}
+		if rec.State != StateQueued {
+			rec.State = StateQueued
+			if err := s.store.Put(rec); err != nil {
+				return err
+			}
+		}
+		jb := s.newRuntime(rec)
+		if err := s.queue.push(jb); err != nil {
+			// More interrupted jobs than queue capacity: surface rather
+			// than silently drop (the operator sized the queue too small
+			// for the backlog).
+			return err
+		}
+	}
+	for i := 0; i < s.cfg.jobs(); i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return nil
+}
+
+// newRuntime registers the in-memory state for a queued record.
+func (s *Service) newRuntime(rec JobRecord) *job {
+	jb := &job{id: rec.ID, seq: rec.Seq, spec: rec.Spec, phase: StateQueued, hub: newHub()}
+	s.mu.Lock()
+	s.jobs[rec.ID] = jb
+	s.mu.Unlock()
+	return jb
+}
+
+// runtime returns the in-memory job for id, nil for jobs that reached a
+// terminal state before this daemon started.
+func (s *Service) runtime(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Submit validates nothing (the spec is already validated by DecodeJobSpec
+// or the caller), persists a queued record and enqueues it. It fails with
+// ErrDraining during shutdown and ErrQueueFull under backpressure; a
+// rejected submission leaves no trace in the store.
+func (s *Service) Submit(spec JobSpec) (JobRecord, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobRecord{}, ErrDraining
+	}
+	s.mu.Unlock()
+	if s.queue.depth() >= s.cfg.queueCap() {
+		s.rejects.Inc()
+		return JobRecord{}, ErrQueueFull
+	}
+	rec, err := s.store.NewRecord(spec, time.Now())
+	if err != nil {
+		return JobRecord{}, err
+	}
+	jb := s.newRuntime(rec)
+	jb.hub.publish(EventState, stateEvent{State: StateQueued})
+	if err := s.queue.push(jb); err != nil {
+		// Lost the capacity race (or drain closed the queue): withdraw the
+		// record so the rejected job leaves no trace.
+		s.dropRuntime(jb.id)
+		s.store.Delete(rec.ID)
+		if errors.Is(err, ErrQueueFull) {
+			s.rejects.Inc()
+			return JobRecord{}, ErrQueueFull
+		}
+		return JobRecord{}, ErrDraining
+	}
+	s.submitted.Inc()
+	return rec, nil
+}
+
+func (s *Service) dropRuntime(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// Cancel stops a job: a queued job is withdrawn immediately, a running one
+// has its context cancelled and unwinds to StateCanceled. Cancelling a
+// terminal job reports ok=false.
+func (s *Service) Cancel(id string) (JobRecord, bool) {
+	rec, known := s.store.Get(id)
+	if !known {
+		return JobRecord{}, false
+	}
+	jb := s.runtime(id)
+	if jb == nil || rec.Terminal() {
+		return rec, false
+	}
+	if s.queue.remove(jb) {
+		// Withdrawn before any executor claimed it.
+		jb.mu.Lock()
+		jb.phase = "finished"
+		jb.mu.Unlock()
+		rec, _ = s.store.Get(id)
+		rec.State = StateCanceled
+		rec.FinishedAt = time.Now().UTC()
+		s.store.Put(rec)
+		s.canceled.Inc()
+		jb.hub.publish(EventState, stateEvent{State: StateCanceled})
+		jb.hub.close()
+		return rec, true
+	}
+	if !jb.markCancel("cancel") {
+		rec, _ = s.store.Get(id)
+		return rec, false
+	}
+	rec, _ = s.store.Get(id)
+	return rec, true
+}
+
+// Drain begins graceful shutdown: intake stops (Submit fails with
+// ErrDraining, HTTP 503), no queued job starts, and in-flight jobs keep
+// running until they finish — or until ctx expires, at which point they are
+// cancelled, checkpoint what they have (Monte Carlo journals hold every
+// completed trial) and return to StateQueued so the next daemon resumes
+// them. Drain returns once no job is executing. It is idempotent.
+func (s *Service) Drain(ctx context.Context) {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if first {
+		s.queue.close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, jb := range s.running {
+			jb.markCancel("drain")
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// Close drains immediately (in-flight jobs are interrupted and requeued for
+// the next start) and stops the executor pool.
+func (s *Service) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+	s.baseCancel()
+	s.wg.Wait()
+	return nil
+}
+
+// executor pulls jobs off the queue until it closes.
+func (s *Service) executor() {
+	defer s.wg.Done()
+	for {
+		jb := s.queue.pop()
+		if jb == nil {
+			return
+		}
+		s.execute(jb)
+		s.inflight.Done()
+	}
+}
+
+// execute runs one claimed job through its full lifecycle.
+func (s *Service) execute(jb *job) {
+	jb.mu.Lock()
+	if jb.reason == "cancel" {
+		// Cancelled in the claim window between pop and here.
+		jb.phase = "finished"
+		jb.mu.Unlock()
+		s.finishCanceled(jb)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if jb.spec.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(jb.spec.TimeoutMS)*time.Millisecond)
+	}
+	jb.phase = StateRunning
+	jb.cancel = cancel
+	jb.mu.Unlock()
+	defer cancel()
+
+	rec, _ := s.store.Get(jb.id)
+	rec.State = StateRunning
+	rec.Attempts++
+	rec.StartedAt = time.Now().UTC()
+	s.store.Put(rec)
+	s.mu.Lock()
+	s.running[jb.id] = jb
+	s.mu.Unlock()
+	jb.hub.publish(EventState, stateEvent{State: StateRunning, Attempt: rec.Attempts})
+
+	rep, err := s.runJob(ctx, jb)
+
+	s.mu.Lock()
+	delete(s.running, jb.id)
+	s.mu.Unlock()
+	jb.mu.Lock()
+	jb.phase = "finished"
+	reason := jb.reason
+	jb.mu.Unlock()
+
+	rec, _ = s.store.Get(jb.id)
+	switch {
+	case err == nil:
+		if err := s.store.SaveReport(jb.id, rep); err != nil {
+			rec.State = StateFailed
+			rec.Error = err.Error()
+			s.failed.Inc()
+			break
+		}
+		rec.State = StateDone
+		rec.Error = ""
+		s.completed.Inc()
+	case reason == "cancel":
+		rec.State = StateCanceled
+		s.canceled.Inc()
+	case reason == "drain":
+		// Interrupted by shutdown: back to the queue for the next daemon.
+		// The journal (when the kind keeps one) holds the completed work.
+		rec.State = StateQueued
+		s.store.Put(rec)
+		jb.hub.publish(EventState, stateEvent{State: StateQueued, Detail: "interrupted by drain"})
+		jb.hub.close()
+		return
+	default:
+		rec.State = StateFailed
+		rec.Error = err.Error()
+		s.failed.Inc()
+	}
+	rec.FinishedAt = time.Now().UTC()
+	s.store.Put(rec)
+	ev := stateEvent{State: rec.State, Detail: rec.Error}
+	jb.hub.publish(EventState, ev)
+	jb.hub.close()
+}
+
+// finishCanceled finalises a job cancelled before execution began.
+func (s *Service) finishCanceled(jb *job) {
+	rec, _ := s.store.Get(jb.id)
+	rec.State = StateCanceled
+	rec.FinishedAt = time.Now().UTC()
+	s.store.Put(rec)
+	s.canceled.Inc()
+	jb.hub.publish(EventState, stateEvent{State: StateCanceled})
+	jb.hub.close()
+}
+
+// stateEvent is the payload of EventState frames.
+type stateEvent struct {
+	State string `json:"state"`
+	// Attempt is the 1-based execution attempt for StateRunning events.
+	Attempt int `json:"attempt,omitempty"`
+	// Detail carries the failure message or the drain note.
+	Detail string `json:"detail,omitempty"`
+}

@@ -1,0 +1,364 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bankaware/internal/montecarlo"
+	"bankaware/internal/runner"
+)
+
+// mcSpec builds a small deterministic Monte Carlo job.
+func mcSpec(trials, priority int) JobSpec {
+	return JobSpec{
+		Kind: KindMonteCarlo, Priority: priority, Seed: 2009,
+		MonteCarlo: &MonteCarloSpec{Trials: trials},
+	}
+}
+
+// directMonteCarloBytes runs the same campaign through the library directly
+// and renders its report — the byte-identity reference.
+func directMonteCarloBytes(t *testing.T, trials int, seed uint64) []byte {
+	t.Helper()
+	cfg := montecarlo.DefaultConfig()
+	cfg.Trials = trials
+	cfg.Seed = seed
+	res, err := montecarlo.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, s *Service, id, state string) JobRecord {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, ok := s.Store().Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if rec.State == state {
+			return rec
+		}
+		if rec.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, rec.State, rec.Error, state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, state)
+	return JobRecord{}
+}
+
+func TestSubmitRunsToByteIdenticalReport(t *testing.T) {
+	svc, err := New(Config{Dir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	rec, err := svc.Submit(mcSpec(40, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, svc, rec.ID, StateDone)
+	if done.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", done.Attempts)
+	}
+	got, err := svc.Store().ReportBytes(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directMonteCarloBytes(t, 40, 2009)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("service report differs from direct run:\nservice: %.200s\ndirect:  %.200s", got, want)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	// No Start: nothing dequeues, so the queue fills deterministically.
+	svc, err := New(Config{Dir: t.TempDir(), QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(mcSpec(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(mcSpec(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(mcSpec(10, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	// The rejected submission left no record behind.
+	if n := len(svc.Store().Jobs()); n != 2 {
+		t.Fatalf("%d records after rejection, want 2", n)
+	}
+}
+
+func TestSubmitWhileDraining(t *testing.T) {
+	svc, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain(context.Background())
+	if _, err := svc.Submit(mcSpec(10, 0)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+	svc.Close()
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	svc, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := svc.Submit(mcSpec(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := svc.Cancel(rec.ID)
+	if !ok || got.State != StateCanceled {
+		t.Fatalf("cancel: ok=%v state=%s, want canceled", ok, got.State)
+	}
+	if _, ok := svc.Cancel(rec.ID); ok {
+		t.Fatal("second cancel succeeded, want conflict")
+	}
+	// The terminal state survived to disk.
+	reopened, err := OpenStore(svc.Store().Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := reopened.Get(rec.ID); r.State != StateCanceled {
+		t.Fatalf("persisted state %s, want canceled", r.State)
+	}
+}
+
+func TestPriorityOrdersExecution(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var order []string
+	seen := map[string]bool{}
+	svc, err := New(Config{
+		Dir: dir, Jobs: 1, Workers: 1,
+		OnProgress: func(id string, p runner.Progress) {
+			mu.Lock()
+			if !seen[id] {
+				seen[id] = true
+				order = append(order, id)
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit before Start so all three are queued when execution begins.
+	low, err := svc.Submit(mcSpec(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high1, err := svc.Submit(mcSpec(5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high2, err := svc.Submit(mcSpec(5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	waitState(t, svc, low.ID, StateDone)
+	waitState(t, svc, high1.ID, StateDone)
+	waitState(t, svc, high2.ID, StateDone)
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{high1.ID, high2.ID, low.ID}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want %v (priority desc, then submission order)", order, want)
+	}
+}
+
+func TestDrainCheckpointsAndResumeIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	const trials = 200
+
+	// Throttle trial completion so the drain reliably lands mid-campaign,
+	// and signal once enough trials finished to make the checkpoint
+	// meaningful.
+	enough := make(chan struct{})
+	var once sync.Once
+	svc, err := New(Config{
+		Dir: dir, Workers: 2,
+		OnProgress: func(id string, p runner.Progress) {
+			if p.Kind != runner.JobDone {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+			if p.Done >= 5 {
+				once.Do(func() { close(enough) })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":%d}}`, trials)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit -> %d, want 202", resp.StatusCode)
+	}
+	var rec JobRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case <-enough:
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign never reached 5 completed trials")
+	}
+	// Drain with an expired grace: the in-flight job is interrupted,
+	// checkpoints its journal and returns to the queue.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	svc.Drain(expired)
+	ts.Close()
+	svc.Close()
+
+	after, ok := svc.Store().Get(rec.ID)
+	if !ok || after.State != StateQueued {
+		t.Fatalf("state after drain = %s, want queued (re-enqueue on restart)", after.State)
+	}
+	journal, err := runner.OpenJournal(svc.Store().JournalPath(rec.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpointed := journal.Len()
+	journal.Close()
+	if checkpointed == 0 {
+		t.Fatal("no trials checkpointed before drain")
+	}
+	t.Logf("drained with %d/%d trials checkpointed", checkpointed, trials)
+
+	// Restart: a fresh daemon over the same store resumes the job from its
+	// journal and finishes it.
+	svc2, err := New(Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	done := waitState(t, svc2, rec.ID, StateDone)
+	if done.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one interrupted, one resumed)", done.Attempts)
+	}
+	// Fetch over HTTP like a client would: the served bytes must match an
+	// uninterrupted direct library run exactly.
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/v1/jobs/" + rec.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := directMonteCarloBytes(t, trials, 2009)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("resumed report differs from an uninterrupted direct run")
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	// Throttle every trial so the job is reliably mid-flight when cancelled.
+	started := make(chan struct{})
+	var once sync.Once
+	svc, err := New(Config{
+		Dir: dirForCancel(t), Workers: 1,
+		OnProgress: func(id string, p runner.Progress) {
+			once.Do(func() { close(started) })
+			time.Sleep(time.Millisecond)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	rec, err := svc.Submit(mcSpec(500, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, ok := svc.Cancel(rec.ID); !ok {
+		t.Fatal("cancel of a running job refused")
+	}
+	got := waitState(t, svc, rec.ID, StateCanceled)
+	if got.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", got.State)
+	}
+}
+
+func dirForCancel(t *testing.T) string { return t.TempDir() }
+
+func TestJobTimeoutFails(t *testing.T) {
+	svc, err := New(Config{
+		Dir: t.TempDir(), Workers: 1,
+		// Keep each trial slow enough that a 1 ms deadline always lands.
+		OnProgress: func(id string, p runner.Progress) { time.Sleep(time.Millisecond) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	spec := mcSpec(500, 0)
+	spec.TimeoutMS = 1
+	rec, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, svc, rec.ID, StateFailed)
+	if got.Error == "" {
+		t.Fatal("failed job has no error message")
+	}
+}

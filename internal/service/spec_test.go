@@ -1,0 +1,82 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDecodeJobSpecAccepts(t *testing.T) {
+	cases := []string{
+		`{"kind":"set","set":{"set":1}}`,
+		`{"kind":"set","set":{"set":8,"scale":"full","instructions":1000,"epochCycles":200000}}`,
+		`{"kind":"set","priority":3,"workers":2,"timeoutMs":60000,"seed":7,"observe":true,` +
+			`"set":{"workloads":["apsi","galgel","gcc","mgrid","applu","mesa","facerec","gzip"]}}`,
+		`{"kind":"experiments","experiments":{}}`,
+		`{"kind":"experiments","label":"nightly","experiments":{"scale":"model","instructions":50000}}`,
+		`{"kind":"montecarlo","montecarlo":{}}`,
+		`{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":1000}}`,
+	}
+	for _, body := range cases {
+		if _, err := DecodeJobSpec(strings.NewReader(body)); err != nil {
+			t.Errorf("DecodeJobSpec(%s): %v", body, err)
+		}
+	}
+}
+
+func TestDecodeJobSpecRejects(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"empty", ``},
+		{"not json", `hello`},
+		{"no kind", `{}`},
+		{"unknown kind", `{"kind":"turbo","montecarlo":{}}`},
+		{"missing subspec", `{"kind":"set"}`},
+		{"wrong subspec", `{"kind":"set","montecarlo":{}}`},
+		{"two subspecs", `{"kind":"set","set":{"set":1},"montecarlo":{}}`},
+		{"unknown field", `{"kind":"set","set":{"set":1},"bogus":true}`},
+		{"trailing data", `{"kind":"set","set":{"set":1}} {"kind":"set"}`},
+		{"set out of range", `{"kind":"set","set":{"set":9}}`},
+		{"set and workloads", `{"kind":"set","set":{"set":1,"workloads":["gzip"]}}`},
+		{"too few workloads", `{"kind":"set","set":{"workloads":["gzip"]}}`},
+		{"unknown workload", `{"kind":"set","set":{"workloads":["a","b","c","d","e","f","g","h"]}}`},
+		{"bad scale", `{"kind":"set","set":{"set":1,"scale":"galactic"}}`},
+		{"negative epoch", `{"kind":"set","set":{"set":1,"epochCycles":-5}}`},
+		{"negative timeout", `{"kind":"montecarlo","timeoutMs":-1,"montecarlo":{}}`},
+		{"negative workers", `{"kind":"montecarlo","workers":-1,"montecarlo":{}}`},
+		{"negative trials", `{"kind":"montecarlo","montecarlo":{"trials":-1}}`},
+		{"huge trials", `{"kind":"montecarlo","montecarlo":{"trials":2000000}}`},
+		{"oversized", `{"kind":"montecarlo","label":"` + strings.Repeat("x", maxSpecBytes) + `","montecarlo":{}}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeJobSpec(strings.NewReader(tc.body)); err == nil {
+			t.Errorf("%s: DecodeJobSpec accepted %.80q", tc.name, tc.body)
+		}
+	}
+}
+
+// FuzzJobSpecDecode asserts the submission decoder's contract on arbitrary
+// input: it never panics, and anything it accepts is a fully valid spec (so
+// a malformed POST body is always a clean 400, never a half-built job).
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"kind":"set","set":{"set":1,"epochCycles":200000,"instructions":300000}}`))
+	f.Add([]byte(`{"kind":"experiments","experiments":{"scale":"full"}}`))
+	f.Add([]byte(`{"kind":"montecarlo","priority":9,"seed":2009,"montecarlo":{"trials":50}}`))
+	f.Add([]byte(`{"kind":"set","set":{"workloads":["apsi","galgel","gcc","mgrid","applu","mesa","facerec","gzip"]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"set","montecarlo":{}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`"kind"`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid spec %+v: %v", spec, err)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bankaware/internal/atomicio"
+	"bankaware/internal/metrics"
+)
+
+// Job states. A job is terminal in StateDone, StateFailed or StateCanceled;
+// StateQueued and StateRunning survive restarts as "re-enqueue me".
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobRecord is the durable face of one job: the spec as submitted, the
+// current state, and coarse lifecycle timestamps. Every state change is
+// persisted atomically before it is announced, so a crashed or drained
+// daemon restarts into a consistent picture: terminal jobs serve their
+// stored reports, queued and running (i.e. interrupted) jobs re-enqueue.
+type JobRecord struct {
+	ID   string  `json:"id"`
+	Seq  int     `json:"seq"`
+	Spec JobSpec `json:"spec"`
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Error carries the failure message for StateFailed.
+	Error string `json:"error,omitempty"`
+	// Attempts counts how many times the job entered StateRunning (a
+	// drain-interrupted job that resumes counts twice).
+	Attempts int `json:"attempts,omitempty"`
+
+	SubmittedAt time.Time `json:"submittedAt"`
+	StartedAt   time.Time `json:"startedAt"`
+	FinishedAt  time.Time `json:"finishedAt"`
+}
+
+// Terminal reports whether the record's state is final.
+func (r *JobRecord) Terminal() bool {
+	return r.State == StateDone || r.State == StateFailed || r.State == StateCanceled
+}
+
+// Store is the daemon's durable result store: one JSON record per job under
+// jobs/, the finished run report under reports/, and the Monte Carlo
+// checkpoint journal under journals/. All writes go through
+// internal/atomicio, so a killed daemon never leaves a truncated record and
+// a report, once present, is complete.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	jobs map[string]JobRecord
+	seq  int
+}
+
+// OpenStore opens (or initialises) the store rooted at dir and loads every
+// job record in it.
+func OpenStore(dir string) (*Store, error) {
+	for _, sub := range []string{"jobs", "reports", "journals"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("service: initialising store: %w", err)
+		}
+	}
+	st := &Store{dir: dir, jobs: make(map[string]JobRecord)}
+	entries, err := os.ReadDir(filepath.Join(dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("service: reading store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "jobs", e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("service: reading job record %s: %w", e.Name(), err)
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("service: decoding job record %s: %w", e.Name(), err)
+		}
+		if err := rec.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("service: job record %s: %w", e.Name(), err)
+		}
+		st.jobs[rec.ID] = rec
+		if rec.Seq > st.seq {
+			st.seq = rec.Seq
+		}
+	}
+	return st, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// NewRecord allocates the next job ID and persists the freshly queued
+// record.
+func (s *Store) NewRecord(spec JobSpec, now time.Time) (JobRecord, error) {
+	s.mu.Lock()
+	s.seq++
+	rec := JobRecord{
+		ID:          fmt.Sprintf("job-%06d", s.seq),
+		Seq:         s.seq,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: now.UTC(),
+	}
+	s.mu.Unlock()
+	if err := s.Put(rec); err != nil {
+		return JobRecord{}, err
+	}
+	return rec, nil
+}
+
+// Put persists rec atomically and updates the in-memory view.
+func (s *Store) Put(rec JobRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encoding job record %s: %w", rec.ID, err)
+	}
+	path := filepath.Join(s.dir, "jobs", rec.ID+".json")
+	if err := atomicio.WriteFileBytes(path, append(data, '\n')); err != nil {
+		return fmt.Errorf("service: persisting job record %s: %w", rec.ID, err)
+	}
+	s.mu.Lock()
+	s.jobs[rec.ID] = rec
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete withdraws a record entirely (a submission rejected after its
+// record was persisted — the job must leave no trace).
+func (s *Store) Delete(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+	os.Remove(filepath.Join(s.dir, "jobs", id+".json"))
+}
+
+// Get returns the record for id.
+func (s *Store) Get(id string) (JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	return rec, ok
+}
+
+// Jobs returns every record, sorted by submission sequence.
+func (s *Store) Jobs() []JobRecord {
+	s.mu.Lock()
+	out := make([]JobRecord, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		out = append(out, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ReportPath returns where id's run report lives.
+func (s *Store) ReportPath(id string) string {
+	return filepath.Join(s.dir, "reports", id+".json")
+}
+
+// JournalPath returns where id's trial checkpoint journal lives.
+func (s *Store) JournalPath(id string) string {
+	return filepath.Join(s.dir, "journals", id+".journal")
+}
+
+// SaveReport persists a finished job's report atomically. The stored bytes
+// are exactly Report.WriteJSON's output, so fetching a report returns the
+// same bytes a direct bankaware.Runner run would have written.
+func (s *Store) SaveReport(id string, rep *metrics.Report) error {
+	if err := rep.WriteFile(s.ReportPath(id)); err != nil {
+		return fmt.Errorf("service: persisting report for %s: %w", id, err)
+	}
+	return nil
+}
+
+// ReportBytes returns the stored report verbatim.
+func (s *Store) ReportBytes(id string) ([]byte, error) {
+	return os.ReadFile(s.ReportPath(id))
+}

@@ -109,12 +109,16 @@ func (s *System) sampleWindow(now int64) {
 	for b := range s.banks {
 		occ[b] = s.banks[b].ValidLines()
 	}
-	s.rec.Samples = append(s.rec.Samples, metrics.EpochSample{
+	sample := metrics.EpochSample{
 		Epoch:         len(s.rec.Samples) + 1,
 		EndCycle:      now,
 		Cores:         cores,
 		BankOccupancy: occ,
-	})
+	}
+	s.rec.Samples = append(s.rec.Samples, sample)
+	if s.rec.OnSample != nil {
+		s.rec.OnSample(sample)
+	}
 }
 
 // recordAllocEvents logs every core whose assignment differs between old
