@@ -422,8 +422,13 @@ func BenchmarkSystemStep(b *testing.B) { benchmarks.SystemStep(b) }
 func BenchmarkMSHRFill(b *testing.B) { benchmarks.MSHRFill(b) }
 
 // BenchmarkServiceSubmitThroughput measures the bankawared daemon's durable
-// job-intake path: HTTP submit, strict decode, fsynced record, queue push.
+// job-intake path under concurrent load: HTTP submit, strict decode, spec-hash
+// dedup lookup, group-committed (one fsync per batch) record, queue push.
 func BenchmarkServiceSubmitThroughput(b *testing.B) { benchmarks.ServiceSubmitThroughput(b) }
+
+// BenchmarkServiceCachedSubmit measures the content-addressed fast path: a
+// duplicate submission answered from the result cache with no fsync or run.
+func BenchmarkServiceCachedSubmit(b *testing.B) { benchmarks.ServiceCachedSubmit(b) }
 
 // BenchmarkGeneratorNext measures the stack-distance workload generator.
 func BenchmarkGeneratorNext(b *testing.B) {

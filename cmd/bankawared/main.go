@@ -16,17 +16,24 @@
 //
 //	echo '{"kind":"set","set":{"set":1}}' | bankawared submit -addr localhost:8321
 //	bankawared submit -addr localhost:8321 -spec job.json -wait
+//	bankawared submit -addr localhost:8321 -spec job.json -idempotency-key run-42
 //	bankawared watch   -addr localhost:8321 -id job-000001
 //	bankawared get     -addr localhost:8321 -id job-000001
 //	bankawared report  -addr localhost:8321 -id job-000001 > report.json
-//	bankawared list    -addr localhost:8321
+//	bankawared report  -addr localhost:8321 -id job-000001 -o report.json
+//	bankawared list    -addr localhost:8321 -state done -limit 50
 //	bankawared cancel  -addr localhost:8321 -id job-000001
 //	bankawared diff    -addr localhost:8321 -a job-000001 -b job-000002
 //
-// submit prints the new job's ID alone on stdout (diagnostics go to
-// stderr), so shell scripts can capture it; report emits the stored report
-// bytes verbatim — byte-identical to running the same campaign through the
-// library directly.
+// submit prints the job's ID alone on stdout (diagnostics go to stderr), so
+// shell scripts can capture it. Submission is idempotent: resubmitting a
+// spec the daemon has already accepted returns the existing job's ID (a
+// note on stderr says so) instead of running it again, and -idempotency-key
+// scopes that dedup to an explicit client key. report emits the stored
+// report bytes verbatim — byte-identical to running the same campaign
+// through the library directly; with -o it writes the report to a file,
+// keeps the server's ETag in a .etag sidecar, and skips the download when
+// the daemon answers 304 Not Modified on the next fetch.
 package main
 
 import (
@@ -38,8 +45,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -87,10 +96,12 @@ func usage() {
 commands:
   serve    run the daemon
   submit   submit a job spec (from -spec or stdin); prints the job ID
+           (idempotent: a duplicate spec returns the existing job)
   watch    stream a job's SSE events
   get      print one job record
   report   print a finished job's report bytes verbatim
-  list     print all job records
+           (-o writes a file and refetches conditionally via ETag)
+  list     print job records (-state/-limit/-page filter and paginate)
   cancel   cancel a queued or running job
   diff     compare two finished jobs' reports
 
@@ -179,9 +190,10 @@ func apiError(resp *http.Response) error {
 func submit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var (
-		addr = fs.String("addr", "127.0.0.1:8321", "daemon address")
-		spec = fs.String("spec", "", "job spec JSON file (default: read stdin)")
-		wait = fs.Bool("wait", false, "watch the job until it reaches a terminal state")
+		addr    = fs.String("addr", "127.0.0.1:8321", "daemon address")
+		spec    = fs.String("spec", "", "job spec JSON file (default: read stdin)")
+		wait    = fs.Bool("wait", false, "watch the job until it reaches a terminal state")
+		idemKey = fs.String("idempotency-key", "", "dedupe on this key instead of the spec's content hash")
 	)
 	fs.Parse(args)
 
@@ -194,11 +206,21 @@ func submit(args []string) error {
 		defer f.Close()
 		in = f
 	}
-	resp, err := http.Post(base(*addr)+"/v1/jobs", "application/json", in)
+	req, err := http.NewRequest("POST", base(*addr)+"/v1/jobs", in)
 	if err != nil {
 		return err
 	}
-	if resp.StatusCode != http.StatusAccepted {
+	req.Header.Set("Content-Type", "application/json")
+	if *idemKey != "" {
+		req.Header.Set("Idempotency-Key", *idemKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	// 202 = new job, 200 = the daemon already holds this submission (an
+	// in-flight duplicate or a finished job's cached report).
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 		return apiError(resp)
 	}
 	var rec service.JobRecord
@@ -207,7 +229,11 @@ func submit(args []string) error {
 		return err
 	}
 	resp.Body.Close()
-	fmt.Fprintf(os.Stderr, "submitted %s (%s, state %s)\n", rec.ID, rec.Spec.Kind, rec.State)
+	if resp.Header.Get("X-Bankaware-Cache") == "hit" {
+		fmt.Fprintf(os.Stderr, "duplicate submission: daemon already has %s (%s, state %s)\n", rec.ID, rec.Spec.Kind, rec.State)
+	} else {
+		fmt.Fprintf(os.Stderr, "submitted %s (%s, state %s)\n", rec.ID, rec.Spec.Kind, rec.State)
+	}
 	fmt.Println(rec.ID)
 	if !*wait {
 		return nil
@@ -304,19 +330,82 @@ func report(args []string) error {
 	var (
 		addr = fs.String("addr", "127.0.0.1:8321", "daemon address")
 		id   = fs.String("id", "", "job ID")
+		out  = fs.String("o", "", "write the report to this file (with an ETag sidecar for conditional refetch)")
 	)
 	fs.Parse(args)
 	if *id == "" {
 		return fmt.Errorf("report needs -id")
 	}
-	return printBody(base(*addr) + "/v1/jobs/" + *id + "/report")
+	url := base(*addr) + "/v1/jobs/" + *id + "/report"
+	if *out == "" {
+		return printBody(url)
+	}
+	// Conditional download: if we hold the file and its ETag sidecar, ask
+	// the daemon whether the stored report changed. Reports are immutable
+	// once written, so a 304 is the steady state of every refetch.
+	sidecar := *out + ".etag"
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return err
+	}
+	if tag, err := os.ReadFile(sidecar); err == nil {
+		if _, err := os.Stat(*out); err == nil {
+			req.Header.Set("If-None-Match", strings.TrimSpace(string(tag)))
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		fmt.Fprintf(os.Stderr, "report unchanged (304), keeping %s\n", *out)
+		return nil
+	case http.StatusOK:
+	default:
+		return apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	if tag := resp.Header.Get("ETag"); tag != "" {
+		if err := os.WriteFile(sidecar, []byte(tag+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(data))
+	return nil
 }
 
 func list(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:8321", "daemon address")
+	var (
+		addr  = fs.String("addr", "127.0.0.1:8321", "daemon address")
+		state = fs.String("state", "", "only jobs in this state (queued|running|done|failed|canceled)")
+		limit = fs.Int("limit", 0, "page size (enables the paged response shape)")
+		page  = fs.String("page", "", "opaque page token from a previous response's nextPage")
+	)
 	fs.Parse(args)
-	return printBody(base(*addr) + "/v1/jobs")
+	q := url.Values{}
+	if *state != "" {
+		q.Set("state", *state)
+	}
+	if *limit > 0 {
+		q.Set("limit", strconv.Itoa(*limit))
+	}
+	if *page != "" {
+		q.Set("page", *page)
+	}
+	u := base(*addr) + "/v1/jobs"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return printBody(u)
 }
 
 func diff(args []string) error {

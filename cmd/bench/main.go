@@ -69,6 +69,7 @@ var suite = []struct {
 	{"MSHRFill", benchmarks.MSHRFill},
 	{"SystemStep", benchmarks.SystemStep},
 	{"ServiceSubmitThroughput", benchmarks.ServiceSubmitThroughput},
+	{"ServiceCachedSubmit", benchmarks.ServiceCachedSubmit},
 }
 
 func main() {

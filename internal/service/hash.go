@@ -1,0 +1,137 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"bankaware/internal/experiments"
+	"bankaware/internal/montecarlo"
+)
+
+// specHashVersion versions the canonical encoding below. Any change to the
+// canonicalization rules must bump it: stored reports stay valid, but old
+// and new daemons then hash the same spec differently, and mixing them over
+// one store would split the cache instead of corrupting it.
+const specHashVersion = "bankaware.spec-hash/v1"
+
+// canonicalSpec is the hashed projection of a JobSpec: exactly the fields
+// that determine the report bytes, after defaulting. Execution knobs
+// (Label, Priority, Workers, TimeoutMS) are deliberately absent — the
+// simulator's determinism contract guarantees they shape when and how fast
+// a job runs, never what it computes — so two submissions that differ only
+// in those knobs are the same cache entry.
+//
+// Canonicalization is conservative: a default is folded into its explicit
+// value only where run.go provably applies that value (scale "" is "model"
+// everywhere; a set job's zero instruction budget is the model default; a
+// Monte Carlo's zero trials/seed are the paper's 1000/2009). Everything
+// else hashes as submitted — a missed fold costs a cache miss, a wrong fold
+// would serve the wrong report.
+type canonicalSpec struct {
+	Kind    string `json:"kind"`
+	Seed    uint64 `json:"seed"`
+	Observe bool   `json:"observe"`
+
+	Set         *canonicalSet         `json:"set,omitempty"`
+	Experiments *canonicalExperiments `json:"experiments,omitempty"`
+	MonteCarlo  *canonicalMonteCarlo  `json:"montecarlo,omitempty"`
+}
+
+type canonicalSet struct {
+	Set          int      `json:"set"`
+	Workloads    []string `json:"workloads,omitempty"`
+	Scale        string   `json:"scale"`
+	Instructions uint64   `json:"instructions"`
+	EpochCycles  int64    `json:"epochCycles"`
+}
+
+type canonicalExperiments struct {
+	Scale        string `json:"scale"`
+	Instructions uint64 `json:"instructions"`
+}
+
+type canonicalMonteCarlo struct {
+	Trials int    `json:"trials"`
+	Seed   uint64 `json:"seed"`
+}
+
+func canonicalScale(scale string) string {
+	if scale == "" {
+		return "model"
+	}
+	return scale
+}
+
+// canonicalize projects a validated spec onto its canonical form.
+func canonicalize(spec JobSpec) canonicalSpec {
+	c := canonicalSpec{Kind: spec.Kind, Seed: spec.Seed, Observe: spec.Observe}
+	switch {
+	case spec.Set != nil:
+		sub := canonicalSet{
+			Set:          spec.Set.Set,
+			Scale:        canonicalScale(spec.Set.Scale),
+			Instructions: spec.Set.Instructions,
+			EpochCycles:  spec.Set.EpochCycles,
+		}
+		if sub.Instructions == 0 {
+			// Mirror runSet: a zero budget always selects the model-scale
+			// default, regardless of the chosen scale.
+			sub.Instructions = experiments.ScaleModel.DefaultInstructions()
+		}
+		if sub.Set == 0 {
+			// A set number and an explicit workload list are not folded into
+			// each other: the report labels the two differently, so they are
+			// different byte streams even when the workloads coincide.
+			sub.Workloads = append([]string(nil), spec.Set.Workloads...)
+		}
+		c.Set = &sub
+	case spec.Experiments != nil:
+		c.Experiments = &canonicalExperiments{
+			Scale:        canonicalScale(spec.Experiments.Scale),
+			Instructions: spec.Experiments.Instructions,
+		}
+	case spec.MonteCarlo != nil:
+		def := montecarlo.DefaultConfig()
+		sub := canonicalMonteCarlo{Trials: spec.MonteCarlo.Trials, Seed: spec.Seed}
+		if sub.Trials == 0 {
+			sub.Trials = def.Trials
+		}
+		if sub.Seed == 0 {
+			sub.Seed = def.Seed
+		}
+		c.MonteCarlo = &sub
+		// The campaign seed lives in the sub-spec after defaulting; zero the
+		// top-level copy so "seed omitted" and "seed": 2009 hash equal.
+		c.Seed = 0
+	}
+	return c
+}
+
+// SpecHash returns the canonical content hash of a validated spec: the
+// hex-encoded SHA-256 of the versioned canonical JSON encoding. Two specs
+// with equal hashes produce byte-identical reports; the converse is not
+// guaranteed (canonicalization is conservative), only harmless.
+func SpecHash(spec JobSpec) string {
+	data, err := json.Marshal(canonicalize(spec))
+	if err != nil {
+		// canonicalSpec is plain data; Marshal cannot fail on it.
+		panic("service: encoding canonical spec: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write([]byte(specHashVersion))
+	h.Write([]byte{':'})
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// dedupKey returns the intake dedup-index key for a submission: the
+// Idempotency-Key when the client sent one (overriding spec-hash dedup),
+// the spec hash otherwise. The two live in distinct namespaces so a key
+// can never collide with a hash.
+func dedupKey(specHash, idemKey string) string {
+	if idemKey != "" {
+		return "idem:" + idemKey
+	}
+	return "spec:" + specHash
+}

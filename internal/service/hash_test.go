@@ -1,0 +1,130 @@
+package service
+
+import (
+	"testing"
+
+	"bankaware/internal/experiments"
+)
+
+func mustHash(t *testing.T, spec JobSpec) string {
+	t.Helper()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("invalid spec in hash test: %v", err)
+	}
+	return SpecHash(spec)
+}
+
+// TestSpecHashFoldsDefaults pins the canonicalization rules: every folded
+// default must hash identically to its explicit value, because run.go
+// provably executes the two the same way.
+func TestSpecHashFoldsDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b JobSpec
+	}{
+		{
+			"set scale empty is model",
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1, Instructions: 1000}},
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1, Scale: "model", Instructions: 1000}},
+		},
+		{
+			"set zero instructions is the model default",
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1}},
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1, Instructions: experiments.ScaleModel.DefaultInstructions()}},
+		},
+		{
+			"experiments scale empty is model",
+			JobSpec{Kind: KindExperiments, Experiments: &ExperimentsSpec{Instructions: 500}},
+			JobSpec{Kind: KindExperiments, Experiments: &ExperimentsSpec{Scale: "model", Instructions: 500}},
+		},
+		{
+			"montecarlo zero trials is the paper's 1000",
+			JobSpec{Kind: KindMonteCarlo, Seed: 5, MonteCarlo: &MonteCarloSpec{}},
+			JobSpec{Kind: KindMonteCarlo, Seed: 5, MonteCarlo: &MonteCarloSpec{Trials: 1000}},
+		},
+		{
+			"montecarlo zero seed is the paper's 2009",
+			JobSpec{Kind: KindMonteCarlo, MonteCarlo: &MonteCarloSpec{Trials: 10}},
+			JobSpec{Kind: KindMonteCarlo, Seed: 2009, MonteCarlo: &MonteCarloSpec{Trials: 10}},
+		},
+		{
+			"execution knobs are excluded",
+			JobSpec{Kind: KindMonteCarlo, Seed: 3, MonteCarlo: &MonteCarloSpec{Trials: 10}},
+			JobSpec{Kind: KindMonteCarlo, Seed: 3, Label: "x", Priority: 9, Workers: 4,
+				TimeoutMS: 60000, MonteCarlo: &MonteCarloSpec{Trials: 10}},
+		},
+	}
+	for _, c := range cases {
+		if ha, hb := mustHash(t, c.a), mustHash(t, c.b); ha != hb {
+			t.Errorf("%s: hashes differ\n  a: %s\n  b: %s", c.name, ha, hb)
+		}
+	}
+}
+
+// TestSpecHashSeparatesResults pins the opposite direction: anything that
+// changes the report bytes must change the hash.
+func TestSpecHashSeparatesResults(t *testing.T) {
+	set1 := experiments.TableIIISets[0]
+	cases := []struct {
+		name string
+		a, b JobSpec
+	}{
+		{
+			"different seeds",
+			JobSpec{Kind: KindMonteCarlo, Seed: 1, MonteCarlo: &MonteCarloSpec{Trials: 10}},
+			JobSpec{Kind: KindMonteCarlo, Seed: 2, MonteCarlo: &MonteCarloSpec{Trials: 10}},
+		},
+		{
+			"different trials",
+			JobSpec{Kind: KindMonteCarlo, MonteCarlo: &MonteCarloSpec{Trials: 10}},
+			JobSpec{Kind: KindMonteCarlo, MonteCarlo: &MonteCarloSpec{Trials: 11}},
+		},
+		{
+			"different sets",
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1}},
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 2}},
+		},
+		{
+			"observe changes the report",
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1}},
+			JobSpec{Kind: KindSet, Observe: true, Set: &SetSpec{Set: 1}},
+		},
+		{
+			// The two label their reports differently, so folding them
+			// together would serve wrong bytes even when the workloads match.
+			"set number vs explicit workload list",
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1}},
+			JobSpec{Kind: KindSet, Set: &SetSpec{Workloads: set1[:]}},
+		},
+		{
+			"different kinds",
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1}},
+			JobSpec{Kind: KindExperiments, Experiments: &ExperimentsSpec{}},
+		},
+	}
+	for _, c := range cases {
+		if ha, hb := mustHash(t, c.a), mustHash(t, c.b); ha == hb {
+			t.Errorf("%s: hashes collide (%s)", c.name, ha)
+		}
+	}
+}
+
+// TestSpecHashPinned pins one literal hash. If this test fails, the
+// canonical encoding changed: bump specHashVersion, because old and new
+// daemons would otherwise split one store's cache between two keyings.
+func TestSpecHashPinned(t *testing.T) {
+	spec := JobSpec{Kind: KindMonteCarlo, Seed: 2009, MonteCarlo: &MonteCarloSpec{Trials: 25}}
+	const want = "3bbaf6c5039004b29e44492a30e00cc2f5c4e88b237a67dd859252fcb2124931"
+	if got := mustHash(t, spec); got != want {
+		t.Fatalf("SpecHash = %s, want %s (canonical encoding changed? bump specHashVersion)", got, want)
+	}
+}
+
+func TestDedupKeyNamespaces(t *testing.T) {
+	if k := dedupKey("abc", ""); k != "spec:abc" {
+		t.Fatalf("spec key = %q", k)
+	}
+	if k := dedupKey("abc", "client-7"); k != "idem:client-7" {
+		t.Fatalf("idem key = %q", k)
+	}
+}

@@ -1,30 +1,56 @@
 package service
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 
 	"bankaware/internal/metrics"
 )
 
 // Handler returns the daemon's HTTP surface:
 //
-//	POST /v1/jobs            submit a job spec    -> 202 JobRecord
-//	GET  /v1/jobs            list jobs            -> 200 [JobRecord]
-//	GET  /v1/jobs/{id}       one job              -> 200 JobRecord
-//	GET  /v1/jobs/{id}/report  finished report    -> 200 (stored bytes, verbatim)
+//	POST /v1/jobs              submit a job spec
+//	         202 JobRecord      new job, durably queued (group commit)
+//	         200 JobRecord      duplicate: an existing job already serves
+//	                            this submission (in-flight coalesce or
+//	                            content-addressed cache hit on its report)
+//	         400                malformed or invalid spec
+//	         429                queue full (backpressure; nothing stored)
+//	         503                draining (shutdown; nothing stored)
+//	         500                store/commit failure
+//	     The Idempotency-Key request header overrides spec-hash dedup:
+//	     submissions dedupe on the key instead of the spec, so identical
+//	     specs under different keys run separately and a retry under the
+//	     same key returns the same job. Every 200/202 response carries
+//	     X-Bankaware-Spec-Hash (the canonical spec hash) and
+//	     X-Bankaware-Cache: hit|miss (hit = no new job was created).
+//	GET  /v1/jobs              list jobs -> 200
+//	     Bare: the full [JobRecord] list in submission order. With any of
+//	     state= (queued|running|done|failed|canceled), limit= (1..1000,
+//	     default 100) or page= (opaque token), a page envelope instead:
+//	     {"jobs":[...], "nextPage":"..."} — nextPage absent on the last
+//	     page. 400 on an unknown state or malformed token.
+//	GET  /v1/jobs/{id}         one job -> 200 JobRecord; 404 unknown
+//	GET  /v1/jobs/{id}/report  finished report
+//	         200                stored bytes, verbatim; ETag header is the
+//	                            report's content hash
+//	         304                If-None-Match matched the ETag (no body)
+//	         404                unknown job
+//	         409                job not done yet
 //	GET  /v1/jobs/{id}/events  live SSE stream (Last-Event-ID replay)
-//	POST /v1/jobs/{id}/cancel  cancel             -> 200 JobRecord
-//	GET  /v1/diff?a=ID&b=ID  compare two reports  -> 200 {identical, differences}
-//	GET  /healthz            liveness + drain state
-//	/debug/...               pprof, expvar, service metrics
-//
-// Submissions are rejected with 400 (malformed spec), 429 (queue full) or
-// 503 (draining).
+//	POST /v1/jobs/{id}/cancel  cancel -> 200 JobRecord; 404 unknown;
+//	                           409 already terminal
+//	GET  /v1/diff?a=ID&b=ID    compare two stored reports
+//	                           -> 200 {identical, differences}; 400 missing
+//	                           params; 404 either job or report missing
+//	GET  /healthz              liveness + drain state -> 200
+//	/debug/...                 pprof, expvar, service metrics
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -59,7 +85,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rec, err := s.Submit(*spec)
+	rec, hit, err := s.SubmitDedup(*spec, r.Header.Get("Idempotency-Key"))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, "%v", err)
@@ -67,13 +93,94 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "%v", err)
+	case hit:
+		w.Header().Set("X-Bankaware-Spec-Hash", rec.SpecHash)
+		w.Header().Set("X-Bankaware-Cache", "hit")
+		writeJSON(w, http.StatusOK, rec)
 	default:
+		w.Header().Set("X-Bankaware-Spec-Hash", rec.SpecHash)
+		w.Header().Set("X-Bankaware-Cache", "miss")
 		writeJSON(w, http.StatusAccepted, rec)
 	}
 }
 
+// listPage is the paginated envelope of GET /v1/jobs.
+type listPage struct {
+	Jobs []JobRecord `json:"jobs"`
+	// NextPage is the opaque cursor of the page after this one; absent on
+	// the last page.
+	NextPage string `json:"nextPage,omitempty"`
+}
+
+// pageTokenPrefix versions the opaque list cursor.
+const pageTokenPrefix = "v1:"
+
+func encodePageToken(lastSeq int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(fmt.Sprintf("%s%d", pageTokenPrefix, lastSeq)))
+}
+
+func decodePageToken(tok string) (afterSeq int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil || !strings.HasPrefix(string(raw), pageTokenPrefix) {
+		return 0, fmt.Errorf("malformed page token")
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(string(raw), pageTokenPrefix))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("malformed page token")
+	}
+	return n, nil
+}
+
+// maxListLimit caps one list page; defaultListLimit applies when paging
+// parameters are present but limit is not.
+const (
+	maxListLimit     = 1000
+	defaultListLimit = 100
+)
+
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Jobs())
+	q := r.URL.Query()
+	state, limitStr, page := q.Get("state"), q.Get("limit"), q.Get("page")
+	if state == "" && limitStr == "" && page == "" {
+		// The original unpaginated shape, kept for scripts.
+		writeJSON(w, http.StatusOK, s.store.Jobs())
+		return
+	}
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		writeError(w, http.StatusBadRequest, "unknown state %q", state)
+		return
+	}
+	limit := defaultListLimit
+	if limitStr != "" {
+		n, err := strconv.Atoi(limitStr)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		if n > maxListLimit {
+			n = maxListLimit
+		}
+		limit = n
+	}
+	afterSeq := 0
+	if page != "" {
+		var err error
+		if afterSeq, err = decodePageToken(page); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	recs, lastSeq := s.store.JobsPage(state, afterSeq, limit)
+	out := listPage{Jobs: recs}
+	if out.Jobs == nil {
+		out.Jobs = []JobRecord{}
+	}
+	if len(recs) == limit {
+		out.NextPage = encodePageToken(lastSeq)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -97,6 +204,16 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %s has no report (state %s)", id, rec.State)
 		return
 	}
+	etag, err := s.store.ReportETag(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading report: %v", err)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	data, err := s.store.ReportBytes(id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "reading report: %v", err)
@@ -106,6 +223,24 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	// to the report a direct bankaware.Runner run would have written.
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// etagMatches implements If-None-Match for the strong ETags the report
+// endpoint serves: a comma-separated candidate list, "*" matching any.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		// Reports never change once written, so a weak comparison of the
+		// same tag is equivalent to a strong one.
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -46,7 +46,9 @@ func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, Jo
 		t.Fatal(err)
 	}
 	var rec JobRecord
-	if resp.StatusCode == http.StatusAccepted {
+	// 202 is a fresh job, 200 a spec-hash (or Idempotency-Key) duplicate
+	// answered with the existing record.
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
 			t.Fatal(err)
 		}
@@ -80,13 +82,13 @@ func TestHTTPNotFound(t *testing.T) {
 }
 
 func TestHTTPBackpressure429(t *testing.T) {
-	// No executors: the queue fills deterministically.
+	// No executors: the queue fills deterministically. Distinct seeds keep
+	// the second submission from short-circuiting as a spec-hash duplicate.
 	_, ts := startHTTP(t, Config{QueueCap: 1}, false)
-	spec := `{"kind":"montecarlo","montecarlo":{"trials":5}}`
-	if resp, _ := postJob(t, ts, spec); resp.StatusCode != http.StatusAccepted {
+	if resp, _ := postJob(t, ts, `{"kind":"montecarlo","seed":1,"montecarlo":{"trials":5}}`); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit -> %d, want 202", resp.StatusCode)
 	}
-	if resp, _ := postJob(t, ts, spec); resp.StatusCode != http.StatusTooManyRequests {
+	if resp, _ := postJob(t, ts, `{"kind":"montecarlo","seed":2,"montecarlo":{"trials":5}}`); resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("second submit -> %d, want 429", resp.StatusCode)
 	}
 }
@@ -151,8 +153,10 @@ func TestHTTPCancelAndConflicts(t *testing.T) {
 
 func TestHTTPListAndGet(t *testing.T) {
 	_, ts := startHTTP(t, Config{}, false)
-	_, a := postJob(t, ts, `{"kind":"montecarlo","label":"first","montecarlo":{"trials":5}}`)
-	_, b := postJob(t, ts, `{"kind":"montecarlo","label":"second","montecarlo":{"trials":5}}`)
+	// Labels are execution metadata, excluded from the spec hash — the
+	// seeds must differ for these to be two jobs.
+	_, a := postJob(t, ts, `{"kind":"montecarlo","label":"first","seed":1,"montecarlo":{"trials":5}}`)
+	_, b := postJob(t, ts, `{"kind":"montecarlo","label":"second","seed":2,"montecarlo":{"trials":5}}`)
 
 	resp, err := http.Get(ts.URL + "/v1/jobs")
 	if err != nil {
@@ -176,6 +180,190 @@ func TestHTTPListAndGet(t *testing.T) {
 	resp.Body.Close()
 	if got.ID != b.ID || got.Spec.Label != "second" {
 		t.Fatalf("get = %+v, want %s/second", got, b.ID)
+	}
+}
+
+// postJobKeyed is postJob with an Idempotency-Key header.
+func postJobKeyed(t *testing.T, ts *httptest.Server, body, key string) (*http.Response, JobRecord) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec JobRecord
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, rec
+}
+
+// TestHTTPSubmitDedupHeaders pins the idempotent-submit response contract:
+// a fresh spec is 202/miss, its duplicate 200/hit with the same record,
+// and both carry the canonical spec hash.
+func TestHTTPSubmitDedupHeaders(t *testing.T) {
+	_, ts := startHTTP(t, Config{}, false)
+	spec := `{"kind":"montecarlo","seed":42,"montecarlo":{"trials":5}}`
+	resp1, rec1 := postJob(t, ts, spec)
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("fresh submit -> %d, want 202", resp1.StatusCode)
+	}
+	if got := resp1.Header.Get("X-Bankaware-Cache"); got != "miss" {
+		t.Fatalf("fresh submit cache header %q, want miss", got)
+	}
+	wantHash := SpecHash(rec1.Spec)
+	if got := resp1.Header.Get("X-Bankaware-Spec-Hash"); got != wantHash {
+		t.Fatalf("spec-hash header %q, want %q", got, wantHash)
+	}
+
+	resp2, rec2 := postJob(t, ts, spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate submit -> %d, want 200", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Bankaware-Cache"); got != "hit" {
+		t.Fatalf("duplicate submit cache header %q, want hit", got)
+	}
+	if got := resp2.Header.Get("X-Bankaware-Spec-Hash"); got != wantHash {
+		t.Fatalf("duplicate spec-hash header %q, want %q", got, wantHash)
+	}
+	if rec2.ID != rec1.ID {
+		t.Fatalf("duplicate acked %s, want original %s", rec2.ID, rec1.ID)
+	}
+}
+
+// TestHTTPIdempotencyKeyOverridesSpecDedup: distinct keys run an identical
+// spec separately; the same key returns the same job; and a keyed job does
+// not capture keyless spec-hash submissions of other specs.
+func TestHTTPIdempotencyKeyOverridesSpecDedup(t *testing.T) {
+	_, ts := startHTTP(t, Config{}, false)
+	spec := `{"kind":"montecarlo","seed":42,"montecarlo":{"trials":5}}`
+
+	respA, a := postJobKeyed(t, ts, spec, "key-a")
+	if respA.StatusCode != http.StatusAccepted {
+		t.Fatalf("keyed submit a -> %d, want 202", respA.StatusCode)
+	}
+	respB, b := postJobKeyed(t, ts, spec, "key-b")
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("keyed submit b -> %d, want 202 (distinct key, same spec)", respB.StatusCode)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("distinct keys coalesced onto %s", a.ID)
+	}
+	respA2, a2 := postJobKeyed(t, ts, spec, "key-a")
+	if respA2.StatusCode != http.StatusOK || a2.ID != a.ID {
+		t.Fatalf("same-key retry -> %d id %s, want 200 with %s", respA2.StatusCode, a2.ID, a.ID)
+	}
+}
+
+// TestHTTPReportConditionalGet pins ETag / If-None-Match on the report
+// endpoint.
+func TestHTTPReportConditionalGet(t *testing.T) {
+	svc, ts := startHTTP(t, Config{Workers: 2}, true)
+	_, rec := postJob(t, ts, `{"kind":"montecarlo","seed":11,"montecarlo":{"trials":10}}`)
+	waitState(t, svc, rec.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(etag, `"sha256-`) {
+		t.Fatalf("report -> %d etag %q, want 200 with a strong sha256 ETag", resp.StatusCode, etag)
+	}
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+rec.ID+"/report", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || buf.Len() != 0 {
+		t.Fatalf("conditional report -> %d with %d body bytes, want empty 304", resp.StatusCode, buf.Len())
+	}
+
+	req.Header.Set("If-None-Match", `"sha256-feed"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale-tag report -> %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPListPagination walks the paged list shape: state filtering,
+// limits, token continuation, and the 400s for malformed parameters.
+func TestHTTPListPagination(t *testing.T) {
+	_, ts := startHTTP(t, Config{}, false)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, rec := postJob(t, ts, fmt.Sprintf(`{"kind":"montecarlo","seed":%d,"montecarlo":{"trials":5}}`, i+1))
+		ids = append(ids, rec.ID)
+	}
+
+	getPage := func(params string) (listPage, int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs?" + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var page listPage
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return page, resp.StatusCode
+	}
+
+	var walked []string
+	params := "limit=2"
+	for {
+		page, code := getPage(params)
+		if code != http.StatusOK {
+			t.Fatalf("list %q -> %d", params, code)
+		}
+		for _, rec := range page.Jobs {
+			walked = append(walked, rec.ID)
+		}
+		if page.NextPage == "" {
+			break
+		}
+		params = "limit=2&page=" + page.NextPage
+	}
+	if fmt.Sprint(walked) != fmt.Sprint(ids) {
+		t.Fatalf("paged walk %v, want %v", walked, ids)
+	}
+
+	page, code := getPage("state=queued&limit=1000")
+	if code != http.StatusOK || len(page.Jobs) != 5 {
+		t.Fatalf("state=queued -> %d with %d jobs, want 200 with 5", code, len(page.Jobs))
+	}
+	page, code = getPage("state=done")
+	if code != http.StatusOK || len(page.Jobs) != 0 {
+		t.Fatalf("state=done -> %d with %d jobs, want 200 with 0", code, len(page.Jobs))
+	}
+	for _, bad := range []string{"state=zombie", "limit=0", "limit=x", "page=???", "page=" + encodePageToken(-1)} {
+		if _, code := getPage(bad); code != http.StatusBadRequest {
+			t.Errorf("list %q -> %d, want 400", bad, code)
+		}
 	}
 }
 
@@ -258,8 +446,28 @@ func TestHTTPEventsStreamMonteCarlo(t *testing.T) {
 
 func TestHTTPDiff(t *testing.T) {
 	svc, ts := startHTTP(t, Config{Workers: 2}, true)
-	_, a := postJob(t, ts, `{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":25}}`)
-	_, b := postJob(t, ts, `{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":25}}`)
+	same := `{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":25}}`
+	_, a := postJob(t, ts, same)
+	// An Idempotency-Key keys dedup on the header instead of the spec hash,
+	// forcing a genuinely separate execution of the identical spec.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(same))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "fresh-twin")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("keyed twin submit -> %d, want 202", resp2.StatusCode)
+	}
+	var b JobRecord
+	if err := json.NewDecoder(resp2.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
 	_, c := postJob(t, ts, `{"kind":"montecarlo","seed":7,"montecarlo":{"trials":25}}`)
 	waitState(t, svc, a.ID, StateDone)
 	waitState(t, svc, b.ID, StateDone)
@@ -290,6 +498,21 @@ func TestHTTPDiff(t *testing.T) {
 	get(a.ID, c.ID)
 	if out.Identical {
 		t.Fatal("different-seed reports reported identical")
+	}
+
+	// The content-addressed cache must serve those exact bytes: resubmitting
+	// the spec is a 200 hit on job a, and the cached report still diffs
+	// clean against the keyed twin's fresh run.
+	hitResp, hit := postJob(t, ts, same)
+	if hitResp.StatusCode != http.StatusOK || hit.ID != a.ID {
+		t.Fatalf("duplicate submit -> %d id %s, want 200 with %s", hitResp.StatusCode, hit.ID, a.ID)
+	}
+	if hitResp.Header.Get("X-Bankaware-Cache") != "hit" {
+		t.Fatalf("duplicate submit cache header %q, want hit", hitResp.Header.Get("X-Bankaware-Cache"))
+	}
+	get(hit.ID, b.ID)
+	if !out.Identical {
+		t.Fatalf("cache-hit report differs from a fresh run: %v", out.Differences)
 	}
 }
 
@@ -348,6 +571,17 @@ func TestHTTPGoldenSetJobEndToEnd(t *testing.T) {
 		t.Fatal("fetched report differs from the golden direct-Runner report")
 	}
 
+	// Resubmitting the same spec is a content-addressed cache hit on the
+	// done job: nothing re-runs, and the served report is the same bytes.
+	hitResp, hitRec := postJob(t, ts,
+		`{"kind":"set","observe":true,"set":{"set":1,"epochCycles":200000,"instructions":300000}}`)
+	if hitResp.StatusCode != http.StatusOK || hitRec.ID != rec.ID {
+		t.Fatalf("duplicate set submit -> %d id %s, want 200 with %s", hitResp.StatusCode, hitRec.ID, rec.ID)
+	}
+	if !bytes.Equal(fetch(ts.URL+"/v1/jobs/"+hitRec.ID+"/report"), golden) {
+		t.Fatal("cache-hit report differs from the golden bytes")
+	}
+
 	// Restart over the same store: the report must be served from disk,
 	// immediately and byte-identically.
 	ts.Close()
@@ -365,6 +599,13 @@ func TestHTTPGoldenSetJobEndToEnd(t *testing.T) {
 
 	if rec2, _ := svc2.Store().Get(rec.ID); rec2.State != StateDone {
 		t.Fatalf("restarted daemon sees state %s, want done", rec2.State)
+	}
+	// The dedup index is rebuilt from disk: the restarted daemon also serves
+	// the duplicate submission from cache.
+	hitResp2, hitRec2 := postJob(t, ts2,
+		`{"kind":"set","observe":true,"set":{"set":1,"epochCycles":200000,"instructions":300000}}`)
+	if hitResp2.StatusCode != http.StatusOK || hitRec2.ID != rec.ID {
+		t.Fatalf("post-restart duplicate submit -> %d id %s, want 200 with %s", hitResp2.StatusCode, hitRec2.ID, rec.ID)
 	}
 	start := time.Now()
 	again := fetch(ts2.URL + "/v1/jobs/" + rec.ID + "/report")

@@ -1,0 +1,350 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bankaware/internal/runner"
+)
+
+// TestGroupCommitDurability submits many distinct jobs concurrently through
+// the batcher and requires every acked one to survive a cold reopen of the
+// store — the group-commit contract — while issuing fewer fsyncs than
+// submissions (the point of batching).
+func TestGroupCommitDurability(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(Config{Dir: dir, QueueCap: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := mcSpec(10, 0)
+			spec.Seed = uint64(i + 1)
+			rec, err := svc.Submit(spec)
+			ids[i], errs[i] = rec.ID, err
+		}(i)
+	}
+	wg.Wait()
+	syncs := svc.Store().Syncs()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if syncs < 1 || syncs > n {
+		t.Fatalf("%d intake fsyncs for %d submits", syncs, n)
+	}
+	t.Logf("%d submits committed in %d fsyncs", n, syncs)
+
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	for i, id := range ids {
+		rec, ok := reopened.Get(id)
+		if !ok {
+			t.Fatalf("acked job %s (submit %d) missing after reopen", id, i)
+		}
+		if rec.State != StateQueued {
+			t.Fatalf("job %s reopened as %s, want queued", id, rec.State)
+		}
+	}
+}
+
+// TestConcurrentIdenticalSubmitsCoalesce is the dedup race test: N
+// goroutines submit the same spec at once and must get N consistent acks
+// for exactly one job — one record, one execution.
+func TestConcurrentIdenticalSubmitsCoalesce(t *testing.T) {
+	svc, err := New(Config{Dir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	const n = 16
+	var wg sync.WaitGroup
+	recs := make([]JobRecord, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, hit, err := svc.SubmitDedup(mcSpec(30, 0), "")
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			recs[i], hits[i] = rec, hit
+		}(i)
+	}
+	wg.Wait()
+	misses := 0
+	for i := 1; i < n; i++ {
+		if recs[i].ID != recs[0].ID {
+			t.Fatalf("submit %d acked job %s, submit 0 acked %s — duplicates split", i, recs[i].ID, recs[0].ID)
+		}
+	}
+	for _, hit := range hits {
+		if !hit {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d cache misses across %d identical submits, want exactly 1", misses, n)
+	}
+	if jobs := svc.Store().Jobs(); len(jobs) != 1 {
+		t.Fatalf("%d job records, want 1", len(jobs))
+	}
+	done := waitState(t, svc, recs[0].ID, StateDone)
+	if done.Attempts != 1 {
+		t.Fatalf("job ran %d times, want 1", done.Attempts)
+	}
+}
+
+// TestIntakeCrashBeforeCommit injects a failure before the batch fsync:
+// the submission must error and leave nothing behind — no acked job, no
+// record after a restart.
+func TestIntakeCrashBeforeCommit(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("injected power loss")
+	var arm atomic.Bool
+	svc, err := New(Config{Dir: dir, IntakeHook: func(stage string, jobs int) error {
+		if stage == HookBeforeCommit && arm.Load() {
+			return boom
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := svc.Submit(mcSpec(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm.Store(true)
+	if _, err := svc.Submit(mcSpec(11, 0)); !errors.Is(err, boom) {
+		t.Fatalf("submit across failing commit: %v, want injected error", err)
+	}
+	svc.Close()
+
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if _, found := reopened.Get(ok.ID); !found {
+		t.Fatalf("pre-crash job %s lost", ok.ID)
+	}
+	if n := len(reopened.Jobs()); n != 1 {
+		t.Fatalf("%d records after failed commit, want only the pre-crash one", n)
+	}
+}
+
+// TestIntakeCrashAfterCommit injects a failure after the batch fsync: the
+// client sees an error (no ack), but the records are durable — a restarted
+// daemon recovers them as queued and runs them. This is the at-least-once
+// half of the contract; spec-hash dedup folds the client's retry onto the
+// recovered job.
+func TestIntakeCrashAfterCommit(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("injected crash after fsync")
+	var arm atomic.Bool
+	svc, err := New(Config{Dir: dir, IntakeHook: func(stage string, jobs int) error {
+		if stage == HookAfterCommit && arm.Load() {
+			return boom
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm.Store(true)
+	spec := mcSpec(10, 0)
+	if _, err := svc.Submit(spec); !errors.Is(err, boom) {
+		t.Fatalf("submit across failing post-commit: %v, want injected error", err)
+	}
+	svc.Close()
+
+	svc2, err := New(Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := svc2.Store().Jobs()
+	if len(jobs) != 1 || jobs[0].State != StateQueued {
+		t.Fatalf("recovered jobs = %+v, want one queued record", jobs)
+	}
+	// A client retry of the unacked submission coalesces onto the recovered
+	// job instead of running it twice.
+	rec, hit, err := svc2.SubmitDedup(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || rec.ID != jobs[0].ID {
+		t.Fatalf("retry -> hit=%v id=%s, want dedup onto recovered %s", hit, rec.ID, jobs[0].ID)
+	}
+	if err := svc2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	waitState(t, svc2, rec.ID, StateDone)
+}
+
+// TestIntakeTornTailRecovery simulates a crash mid-append: a WAL whose last
+// line is truncated must open cleanly, keeping every complete entry and
+// dropping the torn (never-acked) tail.
+func TestIntakeTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := svc.Submit(mcSpec(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Submit(mcSpec(11, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	walPath := filepath.Join(dir, intakeWALName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("WAL holds %d lines, want 2", len(lines))
+	}
+	// Tear the second record in half, as a crash between write and sync
+	// could leave it.
+	torn := lines[0] + lines[1][:len(lines[1])/2]
+	if err := os.WriteFile(walPath, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open over torn WAL: %v", err)
+	}
+	defer reopened.Close()
+	if _, ok := reopened.Get(a.ID); !ok {
+		t.Fatalf("complete entry %s lost", a.ID)
+	}
+	if _, ok := reopened.Get(b.ID); ok {
+		t.Fatalf("torn entry %s resurrected", b.ID)
+	}
+}
+
+// TestIntakeWALCompaction checks both compaction triggers: reopening drops
+// WAL entries whose jobs have materialised as per-job files, and a growing
+// WAL compacts in flight once it passes the size threshold.
+func TestIntakeWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := svc.Submit(mcSpec(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, rec.ID, StateDone)
+	svc.Close()
+
+	// The job finished, so its truth lives in jobs/<id>.json; reopen must
+	// compact its WAL entry away.
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if fi, err := os.Stat(filepath.Join(dir, intakeWALName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL after reopen: size=%v err=%v, want empty", fi.Size(), err)
+	}
+
+	// In-flight trigger: shrink the threshold so a handful of queued-only
+	// records (never materialised) overflow it. Compaction keeps them — they
+	// are still WAL-resident truth — but rewrites the log to its live set,
+	// so the byte count stops growing linearly.
+	old := walCompactBytes
+	walCompactBytes = 256
+	defer func() { walCompactBytes = old }()
+	svc2, err := New(Config{Dir: dir, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		spec := mcSpec(20+i, 0)
+		if _, err := svc2.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc2.Close()
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if n := len(reopened.Jobs()); n != 9 {
+		t.Fatalf("%d records after compacting reopen, want 9", n)
+	}
+}
+
+// TestFailedJobReleasesDedupKey: a failed job must not absorb a
+// resubmission of its spec — the resubmit runs fresh. TimeoutMS is an
+// execution knob outside the hash, so the retry (without the lethal
+// deadline) carries the same spec hash as the failed job.
+func TestFailedJobReleasesDedupKey(t *testing.T) {
+	svc, err := New(Config{
+		Dir: t.TempDir(), Workers: 1,
+		// Keep each trial slow enough that a 1 ms deadline always lands.
+		OnProgress: func(id string, p runner.Progress) { time.Sleep(time.Millisecond) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	doomed := mcSpec(500, 0)
+	doomed.TimeoutMS = 1
+	rec, err := svc.Submit(doomed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, rec.ID, StateFailed)
+
+	retry := mcSpec(500, 0)
+	rec2, hit, err := svc.SubmitDedup(retry, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || rec2.ID == rec.ID {
+		t.Fatalf("resubmit after failure -> hit=%v id=%s, want a fresh job (failed %s must not be served)", hit, rec2.ID, rec.ID)
+	}
+}

@@ -22,6 +22,10 @@ type jobQueue struct {
 	items  jobHeap
 	cap    int
 	closed bool
+	// reserved counts capacity slots claimed by submissions whose durable
+	// group commit is still in flight (reserve → pushReserved/release), so
+	// backpressure is decided before the fsync, not after.
+	reserved int
 	// inflight, when non-nil, is incremented under the lock for every job
 	// pop hands out, making the claim atomic with queue closure: after
 	// close() returns, inflight covers exactly the claimed-but-unfinished
@@ -42,12 +46,49 @@ func (q *jobQueue) push(jb *job) error {
 	if q.closed {
 		return errQueueClosed
 	}
-	if len(q.items) >= q.cap {
+	if len(q.items)+q.reserved >= q.cap {
 		return ErrQueueFull
 	}
 	heap.Push(&q.items, jb)
 	q.cond.Signal()
 	return nil
+}
+
+// reserve claims one capacity slot ahead of a durable commit, failing fast
+// with ErrQueueFull (the 429 decision happens before any fsync is paid).
+func (q *jobQueue) reserve() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if len(q.items)+q.reserved >= q.cap {
+		return ErrQueueFull
+	}
+	q.reserved++
+	return nil
+}
+
+// release returns an unused reservation (the commit failed).
+func (q *jobQueue) release() {
+	q.mu.Lock()
+	q.reserved--
+	q.mu.Unlock()
+}
+
+// pushReserved converts a reservation into a queued job. On a queue closed
+// by drain the job is simply not enqueued: it is already durable as
+// StateQueued, so the next daemon's Start re-enqueues it — the submission
+// stays acked either way.
+func (q *jobQueue) pushReserved(jb *job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reserved--
+	if q.closed {
+		return
+	}
+	heap.Push(&q.items, jb)
+	q.cond.Signal()
 }
 
 // pop dequeues the highest-priority job, blocking while the queue is empty.

@@ -48,6 +48,11 @@ type Config struct {
 	// (daemon logging, test instrumentation). Calls are serialised within a
 	// job but concurrent across jobs.
 	OnProgress func(jobID string, p runner.Progress)
+	// IntakeHook, when non-nil, is called around every intake group commit
+	// (HookBeforeCommit / HookAfterCommit) — the faults-style injection
+	// point the crash-recovery tests use to fail a batch on either side of
+	// its fsync. A returned error fails the batch's submissions.
+	IntakeHook func(stage string, jobs int) error
 }
 
 func (c Config) jobs() int {
@@ -96,10 +101,11 @@ func (jb *job) markCancel(reason string) bool {
 // Service is the daemon: store, queue, executors and the HTTP surface
 // (Handler). Safe for concurrent use.
 type Service struct {
-	cfg   Config
-	store *Store
-	queue *jobQueue
-	reg   *metrics.Registry
+	cfg     Config
+	store   *Store
+	queue   *jobQueue
+	batcher *batcher
+	reg     *metrics.Registry
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -110,6 +116,12 @@ type Service struct {
 	draining bool
 	started  bool
 
+	// dedupMu guards pending: submissions whose group commit is in flight,
+	// keyed like the store's dedup index. A duplicate arriving during the
+	// window waits for the original's commit instead of starting its own.
+	dedupMu sync.Mutex
+	pending map[string]*pendingSubmit
+
 	wg       sync.WaitGroup // executor goroutines
 	inflight sync.WaitGroup // jobs claimed from the queue (see queue.pop)
 
@@ -118,6 +130,16 @@ type Service struct {
 	completed *metrics.Counter
 	failed    *metrics.Counter
 	canceled  *metrics.Counter
+	cacheHit  *metrics.Counter
+	cacheMiss *metrics.Counter
+}
+
+// pendingSubmit is one in-flight original submission duplicates can latch
+// onto. id and err are written before done closes.
+type pendingSubmit struct {
+	done chan struct{}
+	id   string
+	err  error
 }
 
 // New opens the store at cfg.Dir and assembles a stopped Service; call
@@ -136,6 +158,7 @@ func New(cfg Config) (*Service, error) {
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
 		running:    make(map[string]*job),
+		pending:    make(map[string]*pendingSubmit),
 	}
 	s.queue = newJobQueue(cfg.queueCap())
 	s.queue.inflight = &s.inflight
@@ -144,6 +167,10 @@ func New(cfg Config) (*Service, error) {
 	s.completed = s.reg.Counter("service.jobs_done")
 	s.failed = s.reg.Counter("service.jobs_failed")
 	s.canceled = s.reg.Counter("service.jobs_canceled")
+	s.cacheHit = s.reg.Counter("service.cache_hits")
+	s.cacheMiss = s.reg.Counter("service.cache_misses")
+	s.batcher = newBatcher(store, cfg.IntakeHook, s.reg)
+	s.reg.RegisterFunc("service.intake_syncs", func() float64 { return float64(store.Syncs()) })
 	s.reg.RegisterFunc("service.queue_depth", func() float64 { return float64(s.queue.depth()) })
 	s.reg.RegisterFunc("service.jobs_running", func() float64 {
 		s.mu.Lock()
@@ -225,46 +252,97 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
-// Submit validates nothing (the spec is already validated by DecodeJobSpec
-// or the caller), persists a queued record and enqueues it. It fails with
-// ErrDraining during shutdown and ErrQueueFull under backpressure; a
-// rejected submission leaves no trace in the store.
+// Submit accepts a job with spec-hash dedup and no idempotency key; see
+// SubmitDedup for the full contract.
 func (s *Service) Submit(spec JobSpec) (JobRecord, error) {
+	rec, _, err := s.SubmitDedup(spec, "")
+	return rec, err
+}
+
+// SubmitDedup is the intake path behind POST /v1/jobs. It validates
+// nothing (the spec is already validated by DecodeJobSpec or the caller).
+//
+// Dedup comes first: the submission's dedup key — the client's
+// Idempotency-Key when present, the canonical spec hash otherwise — is
+// resolved against in-flight submissions and the store's index. A match
+// returns the existing record with hit=true and runs nothing: a queued or
+// running match coalesces the duplicate onto the one execution, a done
+// match is a content-addressed cache hit whose stored report serves the
+// response. Misses claim the key, then commit a queued record through the
+// group-commit batcher (durable before the ack) and enqueue it.
+//
+// It fails with ErrDraining during shutdown and ErrQueueFull under
+// backpressure; both are decided before the durable write, so a rejected
+// submission leaves no trace in the store.
+func (s *Service) SubmitDedup(spec JobSpec, idemKey string) (JobRecord, bool, error) {
+	hash := SpecHash(spec)
+	key := dedupKey(hash, idemKey)
+
+	s.dedupMu.Lock()
+	if p, ok := s.pending[key]; ok {
+		s.dedupMu.Unlock()
+		<-p.done
+		if p.err != nil {
+			// The original's commit failed; its outcome is this duplicate's
+			// outcome (it acked nothing either).
+			return JobRecord{}, false, p.err
+		}
+		rec, _ := s.store.Get(p.id)
+		s.cacheHit.Inc()
+		return rec, true, nil
+	}
+	if rec, ok := s.store.DedupLookup(key); ok {
+		s.dedupMu.Unlock()
+		s.cacheHit.Inc()
+		return rec, true, nil
+	}
+	p := &pendingSubmit{done: make(chan struct{})}
+	s.pending[key] = p
+	s.dedupMu.Unlock()
+
+	rec, err := s.submitNew(spec, hash, idemKey)
+	p.id, p.err = rec.ID, err
+	s.dedupMu.Lock()
+	delete(s.pending, key)
+	s.dedupMu.Unlock()
+	close(p.done)
+	if err != nil {
+		return JobRecord{}, false, err
+	}
+	s.cacheMiss.Inc()
+	return rec, false, nil
+}
+
+// submitNew runs the miss path: reserve queue capacity, group-commit the
+// record, enqueue the runtime.
+func (s *Service) submitNew(spec JobSpec, hash, idemKey string) (JobRecord, error) {
 	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
 		return JobRecord{}, ErrDraining
 	}
-	s.mu.Unlock()
-	if s.queue.depth() >= s.cfg.queueCap() {
-		s.rejects.Inc()
-		return JobRecord{}, ErrQueueFull
-	}
-	rec, err := s.store.NewRecord(spec, time.Now())
-	if err != nil {
-		return JobRecord{}, err
-	}
-	jb := s.newRuntime(rec)
-	jb.hub.publish(EventState, stateEvent{State: StateQueued})
-	if err := s.queue.push(jb); err != nil {
-		// Lost the capacity race (or drain closed the queue): withdraw the
-		// record so the rejected job leaves no trace.
-		s.dropRuntime(jb.id)
-		s.store.Delete(rec.ID)
+	// Reserve the queue slot before paying for durability: backpressure is
+	// a fast 429, and the slot guarantees the committed job can enqueue.
+	if err := s.queue.reserve(); err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.rejects.Inc()
 			return JobRecord{}, ErrQueueFull
 		}
 		return JobRecord{}, ErrDraining
 	}
+	rec := s.store.AllocRecord(spec, hash, idemKey, time.Now())
+	if err := s.batcher.put(rec); err != nil {
+		s.queue.release()
+		return JobRecord{}, err
+	}
+	// Durable from here: even if drain closes the queue in this window the
+	// submission stays acked — the record re-enqueues on the next Start.
+	jb := s.newRuntime(rec)
+	jb.hub.publish(EventState, stateEvent{State: StateQueued})
+	s.queue.pushReserved(jb)
 	s.submitted.Inc()
 	return rec, nil
-}
-
-func (s *Service) dropRuntime(id string) {
-	s.mu.Lock()
-	delete(s.jobs, id)
-	s.mu.Unlock()
 }
 
 // Cancel stops a job: a queued job is withdrawn immediately, a running one
@@ -333,14 +411,16 @@ func (s *Service) Drain(ctx context.Context) {
 }
 
 // Close drains immediately (in-flight jobs are interrupted and requeued for
-// the next start) and stops the executor pool.
+// the next start), stops the intake batcher and the executor pool, and
+// releases the store.
 func (s *Service) Close() error {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s.Drain(ctx)
+	s.batcher.stop()
 	s.baseCancel()
 	s.wg.Wait()
-	return nil
+	return s.store.Close()
 }
 
 // executor pulls jobs off the queue until it closes.
@@ -398,14 +478,16 @@ func (s *Service) execute(jb *job) {
 	rec, _ = s.store.Get(jb.id)
 	switch {
 	case err == nil:
-		if err := s.store.SaveReport(jb.id, rep); err != nil {
+		hash, serr := s.store.SaveReport(jb.id, rep)
+		if serr != nil {
 			rec.State = StateFailed
-			rec.Error = err.Error()
+			rec.Error = serr.Error()
 			s.failed.Inc()
 			break
 		}
 		rec.State = StateDone
 		rec.Error = ""
+		rec.ReportHash = hash
 		s.completed.Inc()
 	case reason == "cancel":
 		rec.State = StateCanceled

@@ -17,7 +17,10 @@ import (
 	"bankaware/internal/runner"
 )
 
-// mcSpec builds a small deterministic Monte Carlo job.
+// mcSpec builds a small deterministic Monte Carlo job. Tests that need
+// several distinct jobs must vary trials or seed: priority and label are
+// execution metadata, excluded from the spec hash, so two mcSpecs differing
+// only there are the same content-addressed job.
 func mcSpec(trials, priority int) JobSpec {
 	return JobSpec{
 		Kind: KindMonteCarlo, Priority: priority, Seed: 2009,
@@ -101,10 +104,10 @@ func TestQueueBackpressure(t *testing.T) {
 	if _, err := svc.Submit(mcSpec(10, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Submit(mcSpec(10, 0)); err != nil {
+	if _, err := svc.Submit(mcSpec(11, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Submit(mcSpec(10, 0)); !errors.Is(err, ErrQueueFull) {
+	if _, err := svc.Submit(mcSpec(12, 0)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit: %v, want ErrQueueFull", err)
 	}
 	// The rejected submission left no record behind.
@@ -178,11 +181,11 @@ func TestPriorityOrdersExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	high1, err := svc.Submit(mcSpec(5, 9))
+	high1, err := svc.Submit(mcSpec(6, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	high2, err := svc.Submit(mcSpec(5, 9))
+	high2, err := svc.Submit(mcSpec(7, 9))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package service
 
 import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -26,9 +30,11 @@ const (
 
 // JobRecord is the durable face of one job: the spec as submitted, the
 // current state, and coarse lifecycle timestamps. Every state change is
-// persisted atomically before it is announced, so a crashed or drained
-// daemon restarts into a consistent picture: terminal jobs serve their
-// stored reports, queued and running (i.e. interrupted) jobs re-enqueue.
+// persisted before it is announced (the intake WAL for freshly queued
+// records, an atomic per-job file for everything after), so a crashed or
+// drained daemon restarts into a consistent picture: terminal jobs serve
+// their stored reports, queued and running (i.e. interrupted) jobs
+// re-enqueue.
 type JobRecord struct {
 	ID   string  `json:"id"`
 	Seq  int     `json:"seq"`
@@ -41,6 +47,17 @@ type JobRecord struct {
 	// drain-interrupted job that resumes counts twice).
 	Attempts int `json:"attempts,omitempty"`
 
+	// SpecHash is the canonical content hash of the spec (SpecHash): the
+	// key of the content-addressed result cache and of spec-hash dedup.
+	// Recomputed from the spec on load, so old stores pick it up.
+	SpecHash string `json:"specHash,omitempty"`
+	// IdempotencyKey is the client-supplied Idempotency-Key the job was
+	// submitted under, when there was one; it overrides spec-hash dedup.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
+	// ReportHash is the SHA-256 of the stored report bytes for StateDone
+	// jobs — the source of the report endpoint's ETag.
+	ReportHash string `json:"reportHash,omitempty"`
+
 	SubmittedAt time.Time `json:"submittedAt"`
 	StartedAt   time.Time `json:"startedAt"`
 	FinishedAt  time.Time `json:"finishedAt"`
@@ -51,28 +68,80 @@ func (r *JobRecord) Terminal() bool {
 	return r.State == StateDone || r.State == StateFailed || r.State == StateCanceled
 }
 
+// dedupable reports whether the record may serve as a dedup/cache target: a
+// failed or canceled job must not absorb a resubmission of the same spec.
+func (r *JobRecord) dedupable() bool {
+	return r.State == StateQueued || r.State == StateRunning || r.State == StateDone
+}
+
+// intakeWALName is the group-commit write-ahead log of freshly accepted
+// jobs, relative to the store root.
+const intakeWALName = "intake.wal"
+
+// walCompactBytes triggers an in-flight WAL compaction once the log grows
+// past it. Entries for jobs that have since been materialised as per-job
+// files are dropped; it is a variable only so tests can shrink it.
+//
+// Compaction cannot shrink the WAL below its live set (records not yet
+// materialised), so after each compaction the next trigger is deferred
+// until the log doubles from its compacted size — without that, a deep
+// backlog of queued-only jobs would rewrite the whole log on every batch
+// past the threshold, turning O(1) appends into O(n) rewrites.
+var walCompactBytes int64 = 4 << 20
+
 // Store is the daemon's durable result store: one JSON record per job under
-// jobs/, the finished run report under reports/, and the Monte Carlo
-// checkpoint journal under journals/. All writes go through
-// internal/atomicio, so a killed daemon never leaves a truncated record and
-// a report, once present, is complete.
+// jobs/, the finished run report under reports/, the Monte Carlo checkpoint
+// journal under journals/, and the group-commit intake WAL (intake.wal) of
+// freshly accepted jobs. Per-job record writes go through
+// internal/atomicio; intake writes are appended in batches with a single
+// fsync per batch (see batcher.go). A job record lives in exactly one of
+// two durable homes at a time — the WAL until its first state transition,
+// its per-job file afterwards — and recovery takes the per-job file as the
+// newer truth when both exist.
 type Store struct {
 	dir string
 
-	mu   sync.Mutex
-	jobs map[string]JobRecord
-	seq  int
+	mu    sync.Mutex
+	jobs  map[string]JobRecord
+	order []orderRef // ascending Seq; backs pagination
+	// dedup maps "spec:<hash>" and "idem:<key>" to the job ID that serves
+	// duplicates of that submission (the content-addressed result cache
+	// once the job is done). Failed and canceled jobs are evicted so a
+	// resubmission re-executes.
+	dedup        map[string]string
+	materialized map[string]bool   // a jobs/<id>.json file exists
+	etags        map[string]string // memoized report ETags, by job ID
+	seq          int
+
+	wal          *os.File
+	walBytes     int64
+	walCompactAt int64 // next compaction threshold (see walCompactBytes)
+	syncs        int
 }
 
-// OpenStore opens (or initialises) the store rooted at dir and loads every
-// job record in it.
+// orderRef is one entry of the seq-ordered job index.
+type orderRef struct {
+	seq int
+	id  string
+}
+
+// OpenStore opens (or initialises) the store rooted at dir: it loads every
+// per-job record, replays the intake WAL on top (ignoring a torn tail — an
+// entry without its final newline was never acked), and compacts the WAL
+// down to the entries that still lack per-job files.
 func OpenStore(dir string) (*Store, error) {
 	for _, sub := range []string{"jobs", "reports", "journals"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("service: initialising store: %w", err)
 		}
 	}
-	st := &Store{dir: dir, jobs: make(map[string]JobRecord)}
+	st := &Store{
+		dir:          dir,
+		jobs:         make(map[string]JobRecord),
+		dedup:        make(map[string]string),
+		materialized: make(map[string]bool),
+		etags:        make(map[string]string),
+	}
 	entries, err := os.ReadDir(filepath.Join(dir, "jobs"))
 	if err != nil {
 		return nil, fmt.Errorf("service: reading store: %w", err)
@@ -93,36 +162,221 @@ func OpenStore(dir string) (*Store, error) {
 			return nil, fmt.Errorf("service: job record %s: %w", e.Name(), err)
 		}
 		st.jobs[rec.ID] = rec
+		st.materialized[rec.ID] = true
+	}
+	if err := st.replayWAL(); err != nil {
+		return nil, err
+	}
+	for id, rec := range st.jobs {
+		// The hash is canonical, not archival: recompute so records written
+		// before content addressing (or under an older hash version) index
+		// correctly.
+		rec.SpecHash = SpecHash(rec.Spec)
+		st.jobs[id] = rec
 		if rec.Seq > st.seq {
 			st.seq = rec.Seq
 		}
+		st.order = append(st.order, orderRef{seq: rec.Seq, id: id})
+	}
+	sort.Slice(st.order, func(i, j int) bool { return st.order[i].seq < st.order[j].seq })
+	for _, ref := range st.order {
+		st.indexLocked(st.jobs[ref.id])
+	}
+	if err := st.compactWALLocked(); err != nil {
+		return nil, err
 	}
 	return st, nil
+}
+
+// replayWAL folds the intake WAL into the in-memory map. A WAL entry is
+// authoritative only while its job has no per-job file: the first Put
+// (running, canceled, re-queued after drain, ...) moves the truth there.
+func (s *Store) replayWAL() error {
+	f, err := os.Open(s.walPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("service: opening intake WAL: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), maxSpecBytes*2)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail from a crash mid-append: the batch was never
+			// synced, so none of its submissions were acked. Stop replaying
+			// — everything after a torn line is the same unacked batch.
+			return nil
+		}
+		if rec.ID == "" || rec.Spec.Validate() != nil {
+			return nil
+		}
+		if !s.materialized[rec.ID] {
+			s.jobs[rec.ID] = rec
+		}
+	}
+	return sc.Err()
+}
+
+func (s *Store) walPath() string { return filepath.Join(s.dir, intakeWALName) }
+
+// indexLocked folds one record into the dedup index. Callers hold s.mu and
+// present records in ascending seq order on rebuild. A done job always wins
+// its keys (it holds the cached report); otherwise the first live claimant
+// keeps them; failed/canceled jobs release theirs.
+func (s *Store) indexLocked(rec JobRecord) {
+	keys := []string{dedupKey(rec.SpecHash, "")}
+	if rec.IdempotencyKey != "" {
+		keys = append(keys, dedupKey("", rec.IdempotencyKey))
+	}
+	for _, key := range keys {
+		if !rec.dedupable() {
+			if s.dedup[key] == rec.ID {
+				delete(s.dedup, key)
+			}
+			continue
+		}
+		cur, ok := s.dedup[key]
+		if !ok || cur == rec.ID {
+			s.dedup[key] = rec.ID
+			continue
+		}
+		if holder := s.jobs[cur]; holder.State != StateDone && rec.State == StateDone {
+			s.dedup[key] = rec.ID
+		}
+	}
+}
+
+// orderInsertLocked adds id/seq to the seq-sorted index (no-op when
+// present). Appends are the common case; out-of-order insertion only
+// happens when concurrent submissions commit in different batches.
+func (s *Store) orderInsertLocked(seq int, id string) {
+	i := sort.Search(len(s.order), func(i int) bool { return s.order[i].seq >= seq })
+	if i < len(s.order) && s.order[i].seq == seq {
+		return
+	}
+	s.order = append(s.order, orderRef{})
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = orderRef{seq: seq, id: id}
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// NewRecord allocates the next job ID and persists the freshly queued
-// record.
-func (s *Store) NewRecord(spec JobSpec, now time.Time) (JobRecord, error) {
+// Syncs returns how many intake-WAL fsyncs the store has issued — the
+// denominator of the group-commit amortisation (service.intake_syncs).
+func (s *Store) Syncs() int {
 	s.mu.Lock()
-	s.seq++
-	rec := JobRecord{
-		ID:          fmt.Sprintf("job-%06d", s.seq),
-		Seq:         s.seq,
-		Spec:        spec,
-		State:       StateQueued,
-		SubmittedAt: now.UTC(),
-	}
-	s.mu.Unlock()
-	if err := s.Put(rec); err != nil {
-		return JobRecord{}, err
-	}
-	return rec, nil
+	defer s.mu.Unlock()
+	return s.syncs
 }
 
-// Put persists rec atomically and updates the in-memory view.
+// AllocRecord allocates the next job ID for a freshly submitted spec. The
+// record is not yet registered anywhere — it becomes visible (and durable)
+// only when a batch containing it commits through AppendIntake.
+func (s *Store) AllocRecord(spec JobSpec, specHash, idemKey string, now time.Time) JobRecord {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+	return JobRecord{
+		ID:             fmt.Sprintf("job-%06d", seq),
+		Seq:            seq,
+		Spec:           spec,
+		State:          StateQueued,
+		SpecHash:       specHash,
+		IdempotencyKey: idemKey,
+		SubmittedAt:    now.UTC(),
+	}
+}
+
+// AppendIntake durably commits a batch of freshly queued records: every
+// record is appended to the intake WAL as one JSON line and the batch is
+// synced with a single fsync — the group-commit write the batcher
+// amortises across concurrent submissions. On success the records are
+// registered in the in-memory view and the dedup index; on failure none
+// are (the WAL may hold unsynced bytes, which recovery treats as a torn,
+// unacked tail).
+func (s *Store) AppendIntake(recs []JobRecord) error {
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("service: encoding intake record %s: %w", rec.ID, err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("service: opening intake WAL: %w", err)
+		}
+		s.wal = f
+	}
+	if _, err := s.wal.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("service: appending intake batch: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("service: syncing intake batch: %w", err)
+	}
+	s.syncs++
+	s.walBytes += int64(buf.Len())
+	for _, rec := range recs {
+		s.jobs[rec.ID] = rec
+		s.orderInsertLocked(rec.Seq, rec.ID)
+		s.indexLocked(rec)
+	}
+	if s.walBytes > s.walCompactAt {
+		if err := s.compactWALLocked(); err != nil {
+			// The batch is durable; a failed compaction only costs space.
+			return nil
+		}
+	}
+	return nil
+}
+
+// compactWALLocked rewrites the intake WAL keeping only records whose truth
+// still lives there (no per-job file yet). Callers hold s.mu.
+func (s *Store) compactWALLocked() error {
+	var buf bytes.Buffer
+	for _, ref := range s.order {
+		if s.materialized[ref.id] {
+			continue
+		}
+		line, err := json.Marshal(s.jobs[ref.id])
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
+	if err := atomicio.WriteFileBytes(s.walPath(), buf.Bytes()); err != nil {
+		return fmt.Errorf("service: compacting intake WAL: %w", err)
+	}
+	s.walBytes = int64(buf.Len())
+	s.walCompactAt = walCompactBytes
+	if min := 2 * s.walBytes; min > s.walCompactAt {
+		s.walCompactAt = min
+	}
+	return nil
+}
+
+// Put persists rec atomically as its per-job file and updates the
+// in-memory view and dedup index. From this point the per-job file, not
+// the intake WAL, is the record's durable truth.
 func (s *Store) Put(rec JobRecord) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -134,17 +388,14 @@ func (s *Store) Put(rec JobRecord) error {
 	}
 	s.mu.Lock()
 	s.jobs[rec.ID] = rec
+	s.orderInsertLocked(rec.Seq, rec.ID)
+	s.materialized[rec.ID] = true
+	s.indexLocked(rec)
+	if rec.ReportHash != "" {
+		s.etags[rec.ID] = reportETag(rec.ReportHash)
+	}
 	s.mu.Unlock()
 	return nil
-}
-
-// Delete withdraws a record entirely (a submission rejected after its
-// record was persisted — the job must leave no trace).
-func (s *Store) Delete(id string) {
-	s.mu.Lock()
-	delete(s.jobs, id)
-	s.mu.Unlock()
-	os.Remove(filepath.Join(s.dir, "jobs", id+".json"))
 }
 
 // Get returns the record for id.
@@ -155,16 +406,46 @@ func (s *Store) Get(id string) (JobRecord, bool) {
 	return rec, ok
 }
 
+// DedupLookup resolves a dedup key ("spec:<hash>" or "idem:<key>") to the
+// job currently serving duplicates of that submission.
+func (s *Store) DedupLookup(key string) (JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.dedup[key]
+	if !ok {
+		return JobRecord{}, false
+	}
+	rec, ok := s.jobs[id]
+	return rec, ok
+}
+
 // Jobs returns every record, sorted by submission sequence.
 func (s *Store) Jobs() []JobRecord {
 	s.mu.Lock()
-	out := make([]JobRecord, 0, len(s.jobs))
-	for _, rec := range s.jobs {
-		out = append(out, rec)
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.order))
+	for _, ref := range s.order {
+		out = append(out, s.jobs[ref.id])
 	}
-	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
+}
+
+// JobsPage returns up to limit records in submission order, restricted to
+// state when non-empty, starting strictly after afterSeq. lastSeq is the
+// sequence of the final returned record (the next page's cursor).
+func (s *Store) JobsPage(state string, afterSeq, limit int) (recs []JobRecord, lastSeq int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.order), func(i int) bool { return s.order[i].seq > afterSeq })
+	for ; i < len(s.order) && len(recs) < limit; i++ {
+		rec := s.jobs[s.order[i].id]
+		if state != "" && rec.State != state {
+			continue
+		}
+		recs = append(recs, rec)
+		lastSeq = rec.Seq
+	}
+	return recs, lastSeq
 }
 
 // ReportPath returns where id's run report lives.
@@ -177,17 +458,75 @@ func (s *Store) JournalPath(id string) string {
 	return filepath.Join(s.dir, "journals", id+".journal")
 }
 
-// SaveReport persists a finished job's report atomically. The stored bytes
-// are exactly Report.WriteJSON's output, so fetching a report returns the
-// same bytes a direct bankaware.Runner run would have written.
-func (s *Store) SaveReport(id string, rep *metrics.Report) error {
-	if err := rep.WriteFile(s.ReportPath(id)); err != nil {
-		return fmt.Errorf("service: persisting report for %s: %w", id, err)
+// SaveReport persists a finished job's report atomically and returns the
+// SHA-256 of the stored bytes (JobRecord.ReportHash, the ETag source). The
+// stored bytes are exactly Report.WriteJSON's output, so fetching a report
+// returns the same bytes a direct bankaware.Runner run would have written.
+func (s *Store) SaveReport(id string, rep *metrics.Report) (string, error) {
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return "", fmt.Errorf("service: rendering report for %s: %w", id, err)
 	}
-	return nil
+	if err := atomicio.WriteFileBytes(s.ReportPath(id), buf.Bytes()); err != nil {
+		return "", fmt.Errorf("service: persisting report for %s: %w", id, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	hash := hex.EncodeToString(sum[:])
+	s.mu.Lock()
+	s.etags[id] = reportETag(hash)
+	s.mu.Unlock()
+	return hash, nil
 }
 
 // ReportBytes returns the stored report verbatim.
 func (s *Store) ReportBytes(id string) ([]byte, error) {
 	return os.ReadFile(s.ReportPath(id))
+}
+
+// ReportETag returns the strong ETag of id's stored report, hashing the
+// file once and memoizing for records written before report hashing
+// existed.
+func (s *Store) ReportETag(id string) (string, error) {
+	s.mu.Lock()
+	if tag, ok := s.etags[id]; ok {
+		s.mu.Unlock()
+		return tag, nil
+	}
+	if rec, ok := s.jobs[id]; ok && rec.ReportHash != "" {
+		tag := reportETag(rec.ReportHash)
+		s.etags[id] = tag
+		s.mu.Unlock()
+		return tag, nil
+	}
+	s.mu.Unlock()
+	data, err := s.ReportBytes(id)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	tag := reportETag(hex.EncodeToString(sum[:]))
+	s.mu.Lock()
+	s.etags[id] = tag
+	if rec, ok := s.jobs[id]; ok && rec.ReportHash == "" {
+		rec.ReportHash = hex.EncodeToString(sum[:])
+		s.jobs[id] = rec
+	}
+	s.mu.Unlock()
+	return tag, nil
+}
+
+// reportETag formats a report content hash as a strong HTTP ETag.
+func reportETag(hash string) string { return `"sha256-` + hash + `"` }
+
+// Close releases the intake WAL handle. Records and reports are plain
+// files; nothing else needs teardown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		err := s.wal.Close()
+		s.wal = nil
+		return err
+	}
+	return nil
 }
