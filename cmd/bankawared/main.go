@@ -12,6 +12,16 @@
 //	bankawared serve -addr :8321 -dir ./bankawared-data
 //	bankawared serve -addr 127.0.0.1:0 -addr-file addr.txt -jobs 2
 //
+// Distributed fleet — one coordinator shards each campaign into leased
+// work units; worker daemons pull, execute and upload them, and the
+// coordinator merges the partials into a report byte-identical to a
+// single-node run of the same spec:
+//
+//	bankawared serve -addr :8321 -dir ./coord-data -coordinator
+//	bankawared serve -addr :0 -dir ./w1-data -worker http://localhost:8321 -worker-name w1
+//	bankawared serve -addr :0 -dir ./w2-data -worker http://localhost:8321 -worker-name w2
+//	bankawared shards -addr localhost:8321 -id job-000001
+//
 // Client (against a running daemon):
 //
 //	echo '{"kind":"set","set":{"set":1}}' | bankawared submit -addr localhost:8321
@@ -78,6 +88,8 @@ func main() {
 		err = list(args)
 	case "cancel":
 		err = cancel(args)
+	case "shards":
+		err = shards(args)
 	case "diff":
 		err = diff(args)
 	default:
@@ -103,6 +115,7 @@ commands:
            (-o writes a file and refetches conditionally via ETag)
   list     print job records (-state/-limit/-page filter and paginate)
   cancel   cancel a queued or running job
+  shards   print a distributed job's live shard table
   diff     compare two finished jobs' reports
 
 run "bankawared <command> -h" for the command's flags`)
@@ -118,11 +131,18 @@ func serve(args []string) error {
 		queueCap = fs.Int("queue", 256, "waiting-queue capacity (submissions beyond it get 429)")
 		parallel = fs.Int("parallel", 0, "default per-job worker bound (0 = all cores)")
 		grace    = fs.Duration("drain-grace", 30*time.Second, "how long SIGTERM lets in-flight jobs finish before checkpointing them")
+
+		coordinator = fs.Bool("coordinator", false, "coordinator mode: shard campaigns to pulling workers instead of executing locally")
+		leaseTTL    = fs.Duration("lease-ttl", 15*time.Second, "shard lease time-to-live (coordinator mode)")
+		shardUnits  = fs.Int("shard-units", 0, "max campaign units per shard (0 = units/16)")
+		workerOf    = fs.String("worker", "", "also pull shards from this coordinator URL")
+		workerName  = fs.String("worker-name", "", "worker identity for -worker (default: the bound address)")
 	)
 	fs.Parse(args)
 
 	svc, err := service.New(service.Config{
 		Dir: *dir, Jobs: *jobs, QueueCap: *queueCap, Workers: *parallel,
+		Coordinator: *coordinator, LeaseTTL: *leaseTTL, ShardUnits: *shardUnits,
 	})
 	if err != nil {
 		return err
@@ -140,7 +160,34 @@ func serve(args []string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "bankawared: serving on http://%s (store %s)\n", bound, *dir)
+	mode := "serving"
+	if *coordinator {
+		mode = "coordinating"
+	}
+	fmt.Fprintf(os.Stderr, "bankawared: %s on http://%s (store %s)\n", mode, bound, *dir)
+
+	// A daemon can be a worker on top of its own API: it pulls shards from
+	// the coordinator while still accepting (and deduplicating) direct
+	// local submissions against its own store.
+	var worker *service.Worker
+	if *workerOf != "" {
+		name := *workerName
+		if name == "" {
+			name = bound
+		}
+		worker, err = service.NewWorker(service.WorkerConfig{
+			Coordinator: base(*workerOf), Name: name,
+			Dir:     *dir + "/shard-journals",
+			Workers: *parallel,
+		})
+		if err != nil {
+			return err
+		}
+		if err := worker.Start(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bankawared: worker %q pulling from %s\n", name, base(*workerOf))
+	}
 
 	server := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	errCh := make(chan error, 1)
@@ -151,6 +198,11 @@ func serve(args []string) error {
 	select {
 	case sig := <-sigCh:
 		fmt.Fprintf(os.Stderr, "bankawared: %v — draining (grace %s)\n", sig, *grace)
+		if worker != nil {
+			// Graceful: the in-flight shard fails back to the coordinator so
+			// its lease releases now instead of expiring.
+			worker.Close()
+		}
 		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		svc.Drain(drainCtx)
 		cancel()
@@ -161,9 +213,25 @@ func serve(args []string) error {
 		fmt.Fprintln(os.Stderr, "bankawared: drained")
 		return nil
 	case err := <-errCh:
+		if worker != nil {
+			worker.Close()
+		}
 		svc.Close()
 		return err
 	}
+}
+
+func shards(args []string) error {
+	fs := flag.NewFlagSet("shards", flag.ExitOnError)
+	var (
+		addr = fs.String("addr", "127.0.0.1:8321", "coordinator address")
+		id   = fs.String("id", "", "job ID")
+	)
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("shards needs -id")
+	}
+	return printBody(base(*addr) + "/v1/jobs/" + *id + "/shards")
 }
 
 // base turns an -addr value into a URL prefix.

@@ -173,11 +173,16 @@ func resolveSpecs(workloads []string) ([]trace.Spec, error) {
 	return specs, nil
 }
 
-// policyRun bundles one simulation's result with its optional run report.
-type policyRun struct {
-	result   sim.Result
-	report   metrics.RunReport
-	observed bool
+// PolicyRun bundles one simulation's result with its optional run report.
+// It is the campaign's unit of distribution: all fields are exported and
+// JSON-round-trip exactly (Go's encoder preserves float64 bit patterns), so
+// a PolicyRun computed on a remote worker and shipped back as JSON
+// assembles into the same campaign results — and so the same report bytes —
+// as one computed in-process.
+type PolicyRun struct {
+	Result   sim.Result        `json:"result"`
+	Report   metrics.RunReport `json:"report"`
+	Observed bool              `json:"observed"`
 }
 
 // runPolicy executes one full simulation — warm-up, stats reset, measured
@@ -185,10 +190,10 @@ type policyRun struct {
 // also attaches the metrics layer and exports the run report covering the
 // measurement window; sample, when non-nil, taps the measured phase's epoch
 // samples live.
-func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, observe bool, sample func(metrics.EpochSample)) (policyRun, error) {
+func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, observe bool, sample func(metrics.EpochSample)) (PolicyRun, error) {
 	sys, err := sim.New(cfg, core.ClonePolicy(proto), specs)
 	if err != nil {
-		return policyRun{}, err
+		return PolicyRun{}, err
 	}
 	var rec *metrics.Recorder
 	if observe {
@@ -198,7 +203,7 @@ func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto co
 	// Warm-up covers working-set build-up and the first epochs of
 	// dynamic adaptation, like the paper's fast-forward + warm-up.
 	if err := sys.RunContext(ctx, instructions/2); err != nil {
-		return policyRun{}, err
+		return PolicyRun{}, err
 	}
 	sys.ResetStats()
 	if rec != nil {
@@ -207,11 +212,11 @@ func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto co
 		rec.OnSample = sample
 	}
 	if err := sys.RunContext(ctx, instructions); err != nil {
-		return policyRun{}, err
+		return PolicyRun{}, err
 	}
-	run := policyRun{result: sys.Result(workloads), observed: observe}
+	run := PolicyRun{Result: sys.Result(workloads), Observed: observe}
 	if observe {
-		run.report = sys.RunReport("", workloads)
+		run.Report = sys.RunReport("", workloads)
 	}
 	return run, nil
 }
@@ -232,34 +237,59 @@ func RunSet(cfg sim.Config, set int, workloads []string, instructions uint64) (*
 	return RunSetContext(context.Background(), cfg, set, workloads, instructions, Options{Workers: 1})
 }
 
-// RunSetContext simulates one workload set under the three policies, fanned
-// out on the engine (one job per policy).
-func RunSetContext(ctx context.Context, cfg sim.Config, set int, workloads []string, instructions uint64, opt Options) (*SetResult, error) {
+// SetPolicies is how many policy simulations one Table III set evaluation
+// comprises (the units a distributed set job shards into).
+const SetPolicies = 3
+
+// RunSetPolicyContext executes one policy simulation of a set evaluation —
+// the unit a distributed set campaign shards into. policy indexes the
+// evaluation order (0 No-partitions, 1 Equal, 2 Bank-aware). The returned
+// PolicyRun is exactly what RunSetContext computes for that unit.
+func RunSetPolicyContext(ctx context.Context, cfg sim.Config, workloads []string, instructions uint64, policy int, opt Options) (PolicyRun, error) {
+	if policy < 0 || policy >= SetPolicies {
+		return PolicyRun{}, fmt.Errorf("experiments: policy index %d out of range [0, %d)", policy, SetPolicies)
+	}
 	cfg = opt.apply(cfg)
 	specs, err := resolveSpecs(workloads)
 	if err != nil {
-		return nil, err
+		return PolicyRun{}, err
 	}
 	protos := setPolicyPrototypes()
 	observe := opt.Observe || opt.Sample != nil
+	return runPolicy(ctx, cfg, specs, protos[policy], workloads, instructions, observe,
+		opt.sampler(protos[policy].Name()))
+}
+
+// AssembleSetResult folds the three policy units (in evaluation order) into
+// a SetResult, exactly as RunSetContext does in-process. Reports are
+// retained only when observe is set, mirroring Options.Observe.
+func AssembleSetResult(set int, workloads []string, runs []PolicyRun, observe bool) (*SetResult, error) {
+	if len(runs) != SetPolicies {
+		return nil, fmt.Errorf("experiments: set assembly needs %d policy runs, got %d", SetPolicies, len(runs))
+	}
+	r := newSetResult(set, workloads, runs[0].Result, runs[1].Result, runs[2].Result)
+	// Reports are retained only under explicit Observe: a Sample hook alone
+	// attaches the recorder for its live tap but leaves the campaign result
+	// — and so the emitted report bytes — exactly as an unobserved run.
+	if observe {
+		for _, run := range runs {
+			r.Reports = append(r.Reports, run.Report)
+		}
+	}
+	return r, nil
+}
+
+// RunSetContext simulates one workload set under the three policies, fanned
+// out on the engine (one job per policy).
+func RunSetContext(ctx context.Context, cfg sim.Config, set int, workloads []string, instructions uint64, opt Options) (*SetResult, error) {
 	runs, err := runner.Map(ctx, opt.runnerConfig(),
-		len(protos), func(ctx context.Context, job int) (policyRun, error) {
-			return runPolicy(ctx, cfg, specs, protos[job], workloads, instructions, observe,
-				opt.sampler(protos[job].Name()))
+		SetPolicies, func(ctx context.Context, job int) (PolicyRun, error) {
+			return RunSetPolicyContext(ctx, cfg, workloads, instructions, job, opt)
 		})
 	if err != nil {
 		return nil, err
 	}
-	r := newSetResult(set, workloads, runs[0].result, runs[1].result, runs[2].result)
-	// Reports are retained only under explicit Observe: a Sample hook alone
-	// attaches the recorder for its live tap but leaves the campaign result
-	// — and so the emitted report bytes — exactly as an unobserved run.
-	if opt.Observe {
-		for _, run := range runs {
-			r.Reports = append(r.Reports, run.report)
-		}
-	}
-	return r, nil
+	return AssembleSetResult(set, workloads, runs, opt.Observe)
 }
 
 // Fig8Fig9 runs all eight Table III sets and returns the per-set results
@@ -283,48 +313,55 @@ func RunFig8Fig9(scale Scale, instructions uint64) (*Fig8Fig9Result, error) {
 	return RunFig8Fig9Context(context.Background(), scale, instructions, Options{})
 }
 
-// RunFig8Fig9Context executes the detailed-simulation experiment with the
-// campaign flattened to 24 independent jobs (8 Table III sets x 3 policies)
-// so the engine keeps every worker busy instead of barriering per set. Each
-// job is a self-contained simulation, so results are identical for any
-// worker count.
-func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, opt Options) (*Fig8Fig9Result, error) {
+// CampaignUnits is the number of independent simulations the full
+// Figs. 8/9 campaign flattens into (8 Table III sets x 3 policies) — the
+// units a distributed experiments job shards into.
+const CampaignUnits = len(TableIIISets) * SetPolicies
+
+// RunCampaignUnitContext executes one flattened (set, policy) simulation of
+// the Figs. 8/9 campaign: unit/3 selects the Table III set, unit%3 the
+// policy. The returned PolicyRun is exactly what RunFig8Fig9Context
+// computes at that index.
+func RunCampaignUnitContext(ctx context.Context, scale Scale, instructions uint64, unit int, opt Options) (PolicyRun, error) {
+	if unit < 0 || unit >= CampaignUnits {
+		return PolicyRun{}, fmt.Errorf("experiments: campaign unit %d out of range [0, %d)", unit, CampaignUnits)
+	}
 	cfg := opt.apply(scale.Config())
 	if instructions == 0 {
 		instructions = scale.DefaultInstructions()
 	}
-	const policies = 3
+	set, pol := unit/SetPolicies, unit%SetPolicies
 	protos := setPolicyPrototypes()
 	observe := opt.Observe || opt.Sample != nil
-	jobs := len(TableIIISets) * policies
-	runs, err := runner.Map(ctx, opt.runnerConfig(),
-		jobs, func(ctx context.Context, job int) (policyRun, error) {
-			set, pol := job/policies, job%policies
-			specs, err := resolveSpecs(TableIIISets[set][:])
-			if err != nil {
-				return policyRun{}, err
-			}
-			r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, observe,
-				opt.sampler(fmt.Sprintf("set%d/%s", set+1, protos[pol].Name())))
-			if err != nil {
-				return policyRun{}, fmt.Errorf("set %d (%s): %w", set+1, protos[pol].Name(), err)
-			}
-			return r, nil
-		})
+	specs, err := resolveSpecs(TableIIISets[set][:])
 	if err != nil {
-		return nil, err
+		return PolicyRun{}, err
 	}
+	r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, observe,
+		opt.sampler(fmt.Sprintf("set%d/%s", set+1, protos[pol].Name())))
+	if err != nil {
+		return PolicyRun{}, fmt.Errorf("set %d (%s): %w", set+1, protos[pol].Name(), err)
+	}
+	return r, nil
+}
 
+// AssembleFig8Fig9 folds the campaign's flattened units (in unit order)
+// into the Figs. 8/9 result, exactly as RunFig8Fig9Context does
+// in-process.
+func AssembleFig8Fig9(runs []PolicyRun, observe bool) (*Fig8Fig9Result, error) {
+	if len(runs) != CampaignUnits {
+		return nil, fmt.Errorf("experiments: campaign assembly needs %d units, got %d", CampaignUnits, len(runs))
+	}
 	out := &Fig8Fig9Result{}
 	var me, mb, ce, cb []float64
 	for i := range TableIIISets {
 		r := newSetResult(i+1, TableIIISets[i][:],
-			runs[i*policies].result, runs[i*policies+1].result, runs[i*policies+2].result)
+			runs[i*SetPolicies].Result, runs[i*SetPolicies+1].Result, runs[i*SetPolicies+2].Result)
 		// Like RunSetContext: only explicit Observe retains reports, so a
 		// live Sample tap never changes the campaign's emitted bytes.
-		if opt.Observe {
-			for p := 0; p < policies; p++ {
-				r.Reports = append(r.Reports, runs[i*policies+p].report)
+		if observe {
+			for p := 0; p < SetPolicies; p++ {
+				r.Reports = append(r.Reports, runs[i*SetPolicies+p].Report)
 			}
 		}
 		out.Sets = append(out.Sets, *r)
@@ -338,6 +375,22 @@ func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, o
 	out.GMRelCPIEqual = stats.GeoMean(ce)
 	out.GMRelCPIBank = stats.GeoMean(cb)
 	return out, nil
+}
+
+// RunFig8Fig9Context executes the detailed-simulation experiment with the
+// campaign flattened to 24 independent jobs (8 Table III sets x 3 policies)
+// so the engine keeps every worker busy instead of barriering per set. Each
+// job is a self-contained simulation, so results are identical for any
+// worker count.
+func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, opt Options) (*Fig8Fig9Result, error) {
+	runs, err := runner.Map(ctx, opt.runnerConfig(),
+		CampaignUnits, func(ctx context.Context, job int) (PolicyRun, error) {
+			return RunCampaignUnitContext(ctx, scale, instructions, job, opt)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return AssembleFig8Fig9(runs, opt.Observe)
 }
 
 // String renders the Fig. 8 + Fig. 9 rows.

@@ -97,13 +97,24 @@ func Run(cfg Config) (*Results, error) {
 	return RunContext(context.Background(), cfg, Options{})
 }
 
-// RunContext executes the experiment on a bounded worker pool. All workload
-// draws happen serially up front from the seeded RNG, and the per-trial
-// allocator runs (the expensive part) fan out with results stored by trial
-// index — so for a fixed cfg.Seed the Results are bit-identical whether
-// Workers is 1 or 100. Cancellation or a deadline on ctx stops the fan-out
-// and returns the context's error.
-func RunContext(ctx context.Context, cfg Config, opt Options) (*Results, error) {
+// plan is the deterministic up-front state every trial derives from: the
+// workload pool with projected miss curves, the serially drawn mixes for
+// every trial, and the (possibly degraded) even-split baseline. Because the
+// plan depends only on (Config, fault plan) it is identical on every
+// machine that prepares it — the property that lets a campaign shard across
+// a fleet with any trial→worker placement and still merge byte-identically.
+type plan struct {
+	cfg       Config
+	opt       Options
+	pool      []trace.Spec
+	curves    []core.MissCurve
+	mixes     [][nuca.NumCores]int
+	snap      faults.Snapshot
+	equalWays []int
+}
+
+// preparePlan validates the config and computes the shared trial inputs.
+func preparePlan(cfg Config, opt Options) (*plan, error) {
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("montecarlo: trials must be positive, got %d", cfg.Trials)
 	}
@@ -156,55 +167,110 @@ func RunContext(ctx context.Context, cfg Config, opt Options) (*Results, error) 
 			equalWays[i] = cfg.Unrestricted.TotalWays / nuca.NumCores
 		}
 	}
+	return &plan{
+		cfg: cfg, opt: opt, pool: pool, curves: curves,
+		mixes: mixes, snap: snap, equalWays: equalWays,
+	}, nil
+}
 
-	rcfg := runner.Config{
-		Workers: opt.Workers, Progress: opt.Progress,
-		Retries: opt.Retries, RetryBackoff: opt.RetryBackoff,
-		JobTimeout: opt.JobTimeout, Journal: opt.Journal,
+// trial computes trial t from the plan. Pure in (plan, t): identical on
+// every worker that executes it.
+func (p *plan) trial(t int) (Trial, error) {
+	mix := make([]core.MissCurve, nuca.NumCores)
+	var tr Trial
+	for c, k := range p.mixes[t] {
+		mix[c] = p.curves[k]
+		tr.Workloads[c] = p.pool[k].Name
 	}
-	trials, err := runner.Map(ctx, rcfg,
-		cfg.Trials, func(_ context.Context, t int) (Trial, error) {
-			mix := make([]core.MissCurve, nuca.NumCores)
-			var tr Trial
-			for c, k := range mixes[t] {
-				mix[c] = curves[k]
-				tr.Workloads[c] = pool[k].Name
-			}
-			// The allocators decide on `seen` (possibly noisy) curves; the
-			// projected misses are evaluated on the true ones. The noise RNG
-			// derives from (plan seed, trial, core) so resumed or reordered
-			// campaigns draw identical perturbations.
-			seen := mix
-			if snap.NoiseAmplitude > 0 {
-				seen = make([]core.MissCurve, nuca.NumCores)
-				for c := range mix {
-					seen[c] = core.MissCurve(msa.NoisyCurve(mix[c], snap.NoiseAmplitude, opt.Faults.RNG(t, c)))
-				}
-			}
-			equalM, err := core.ProjectTotalMisses(mix, equalWays)
-			if err != nil {
-				return Trial{}, err
-			}
-			ua, err := core.UnrestrictedDegraded(seen, cfg.Unrestricted, snap.Failed)
-			if err != nil {
-				return Trial{}, err
-			}
-			uM, _ := core.ProjectTotalMisses(mix, ua)
-			ba, err := core.BankAwareDegraded(seen, cfg.BankAware, nil, snap.Failed)
-			if err != nil {
-				return Trial{}, err
-			}
-			bM, _ := core.ProjectTotalMisses(mix, ba.Ways[:])
+	// The allocators decide on `seen` (possibly noisy) curves; the
+	// projected misses are evaluated on the true ones. The noise RNG
+	// derives from (plan seed, trial, core) so resumed or reordered
+	// campaigns draw identical perturbations.
+	seen := mix
+	if p.snap.NoiseAmplitude > 0 {
+		seen = make([]core.MissCurve, nuca.NumCores)
+		for c := range mix {
+			seen[c] = core.MissCurve(msa.NoisyCurve(mix[c], p.snap.NoiseAmplitude, p.opt.Faults.RNG(t, c)))
+		}
+	}
+	equalM, err := core.ProjectTotalMisses(mix, p.equalWays)
+	if err != nil {
+		return Trial{}, err
+	}
+	ua, err := core.UnrestrictedDegraded(seen, p.cfg.Unrestricted, p.snap.Failed)
+	if err != nil {
+		return Trial{}, err
+	}
+	uM, _ := core.ProjectTotalMisses(mix, ua)
+	ba, err := core.BankAwareDegraded(seen, p.cfg.BankAware, nil, p.snap.Failed)
+	if err != nil {
+		return Trial{}, err
+	}
+	bM, _ := core.ProjectTotalMisses(mix, ba.Ways[:])
 
-			tr.EqualMisses = equalM
-			tr.UnrestrictedRatio = stats.Ratio(uM, equalM)
-			tr.BankAwareRatio = stats.Ratio(bM, equalM)
-			return tr, nil
+	tr.EqualMisses = equalM
+	tr.UnrestrictedRatio = stats.Ratio(uM, equalM)
+	tr.BankAwareRatio = stats.Ratio(bM, equalM)
+	return tr, nil
+}
+
+// runnerConfig builds the engine configuration for one fan-out.
+func (o Options) runnerConfig() runner.Config {
+	return runner.Config{
+		Workers: o.Workers, Progress: o.Progress,
+		Retries: o.Retries, RetryBackoff: o.RetryBackoff,
+		JobTimeout: o.JobTimeout, Journal: o.Journal,
+	}
+}
+
+// RunContext executes the experiment on a bounded worker pool. All workload
+// draws happen serially up front from the seeded RNG, and the per-trial
+// allocator runs (the expensive part) fan out with results stored by trial
+// index — so for a fixed cfg.Seed the Results are bit-identical whether
+// Workers is 1 or 100. Cancellation or a deadline on ctx stops the fan-out
+// and returns the context's error.
+func RunContext(ctx context.Context, cfg Config, opt Options) (*Results, error) {
+	p, err := preparePlan(cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	trials, err := runner.Map(ctx, opt.runnerConfig(),
+		cfg.Trials, func(_ context.Context, t int) (Trial, error) {
+			return p.trial(t)
 		})
 	if err != nil {
 		return nil, err
 	}
+	return Assemble(trials), nil
+}
 
+// RunShardContext executes trials [from, to) of the campaign and returns
+// them in trial order. The full plan (all cfg.Trials workload draws) is
+// still prepared serially up front, so a shard computes exactly the trials
+// a whole-campaign run would have computed at those indices: shards
+// executed on different machines merge (Assemble) into Results identical
+// to a single-node RunContext of the same Config. Options.Journal, when
+// set, checkpoints completed trials keyed by their offset within the shard.
+func RunShardContext(ctx context.Context, cfg Config, from, to int, opt Options) ([]Trial, error) {
+	if from < 0 || to > cfg.Trials || from >= to {
+		return nil, fmt.Errorf("montecarlo: shard [%d, %d) out of range for %d trials", from, to, cfg.Trials)
+	}
+	p, err := preparePlan(cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Map(ctx, opt.runnerConfig(),
+		to-from, func(_ context.Context, t int) (Trial, error) {
+			return p.trial(from + t)
+		})
+}
+
+// Assemble folds a full campaign's trials (in trial order) into Results,
+// exactly as RunContext does: means accumulate in trial order before the
+// paper's sort by Unrestricted ratio, so assembling trials computed
+// anywhere — one machine, many shards, resumed journals — yields identical
+// Results for identical trial values.
+func Assemble(trials []Trial) *Results {
 	res := &Results{Trials: trials}
 	var sumU, sumB float64
 	for _, tr := range res.Trials {
@@ -214,9 +280,9 @@ func RunContext(ctx context.Context, cfg Config, opt Options) (*Results, error) 
 	sort.Slice(res.Trials, func(i, j int) bool {
 		return res.Trials[i].UnrestrictedRatio < res.Trials[j].UnrestrictedRatio
 	})
-	res.MeanUnrestrictedRatio = sumU / float64(cfg.Trials)
-	res.MeanBankAwareRatio = sumB / float64(cfg.Trials)
-	return res, nil
+	res.MeanUnrestrictedRatio = sumU / float64(len(trials))
+	res.MeanBankAwareRatio = sumB / float64(len(trials))
+	return res
 }
 
 // Summary renders the Fig. 7 headline numbers.

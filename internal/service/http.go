@@ -51,6 +51,21 @@ import (
 //	                           params; 404 either job or report missing
 //	GET  /healthz              liveness + drain state -> 200
 //	/debug/...                 pprof, expvar, service metrics
+//
+// Coordinator-mode daemons additionally serve the distributed work
+// protocol (all 404/409 with ErrNotCoordinator elsewhere):
+//
+//	POST /v1/work/lease        worker pulls one shard
+//	         200 ShardGrant     a shard lease (spec, unit range, token, TTL)
+//	         204                no work available, poll again
+//	POST /v1/work/renew        extend a held lease -> 204; 409 lease lost
+//	POST /v1/work/fail         release a lease after an error -> 204;
+//	                           409 lease lost (already expired/stolen)
+//	POST /v1/work/complete     upload a shard's unit results -> 204
+//	                           (idempotent); 404 job not distributing;
+//	                           409 unit count does not match the shard
+//	GET  /v1/jobs/{id}/shards  live shard table -> 200 [ShardStatus];
+//	                           404 job not currently distributing
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -58,7 +73,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/shards", s.handleShards)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/work/lease", s.handleWorkLease)
+	mux.HandleFunc("POST /v1/work/renew", s.handleWorkRenew)
+	mux.HandleFunc("POST /v1/work/fail", s.handleWorkFail)
+	mux.HandleFunc("POST /v1/work/complete", s.handleWorkComplete)
 	mux.HandleFunc("GET /v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("/debug/", metrics.DebugMux(s.reg))
@@ -368,4 +388,84 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"queued":  s.queue.depth(),
 		"running": running,
 	})
+}
+
+// workError maps a work-protocol error onto its HTTP status.
+func workError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotCoordinator):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrUnknownShard):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrUnknownLease), errors.Is(err, ErrBadUpload):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Service) handleWorkLease(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeLeaseRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	grant, ok, err := s.Lease(req.Worker)
+	switch {
+	case err != nil:
+		workError(w, err)
+	case !ok:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusOK, grant)
+	}
+}
+
+func (s *Service) handleWorkRenew(w http.ResponseWriter, r *http.Request) {
+	ack, err := DecodeShardAck(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.Renew(ack); err != nil {
+		workError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleWorkFail(w http.ResponseWriter, r *http.Request) {
+	ack, err := DecodeShardAck(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.FailShard(ack); err != nil {
+		workError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
+	upload, err := DecodeShardUpload(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.CompleteShard(upload); err != nil {
+		workError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleShards(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	statuses, ok := s.ShardStatuses(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q is not currently distributing", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, statuses)
 }

@@ -78,6 +78,11 @@ func scaleFor(name string) experiments.Scale {
 // stored report bytes are exactly what a direct Runner run with the same
 // parameters would have written.
 func (s *Service) runJob(ctx context.Context, jb *job) (*metrics.Report, error) {
+	if s.coord != nil {
+		// Coordinator mode: the campaign executes on pulling workers, and
+		// the merged report is byte-identical to the local paths below.
+		return s.runDistributed(ctx, jb)
+	}
 	spec := jb.spec
 	switch spec.Kind {
 	case KindSet:

@@ -53,6 +53,21 @@ type Config struct {
 	// point the crash-recovery tests use to fail a batch on either side of
 	// its fsync. A returned error fails the batch's submissions.
 	IntakeHook func(stage string, jobs int) error
+	// Coordinator switches the daemon into coordinator mode: jobs are not
+	// executed locally but sharded into leased work units that worker
+	// daemons pull over /v1/work, with the partial results merged into a
+	// report byte-identical to a single-node run of the same spec.
+	Coordinator bool
+	// LeaseTTL is how long a worker holds a shard lease before it must
+	// renew; an expired lease re-queues the shard for another worker.
+	// Default 15s.
+	LeaseTTL time.Duration
+	// ShardUnits caps how many campaign units one shard carries; zero
+	// selects units/16 (at least 1).
+	ShardUnits int
+	// MaxShardAttempts bounds lease grants per shard before the job fails
+	// permanently (a shard that crashes every worker it lands on). Default 5.
+	MaxShardAttempts int
 }
 
 func (c Config) jobs() int {
@@ -106,6 +121,7 @@ type Service struct {
 	queue   *jobQueue
 	batcher *batcher
 	reg     *metrics.Registry
+	coord   *coordinator // nil unless cfg.Coordinator
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -170,6 +186,9 @@ func New(cfg Config) (*Service, error) {
 	s.cacheHit = s.reg.Counter("service.cache_hits")
 	s.cacheMiss = s.reg.Counter("service.cache_misses")
 	s.batcher = newBatcher(store, cfg.IntakeHook, s.reg)
+	if cfg.Coordinator {
+		s.coord = newCoordinator(s)
+	}
 	s.reg.RegisterFunc("service.intake_syncs", func() float64 { return float64(store.Syncs()) })
 	s.reg.RegisterFunc("service.queue_depth", func() float64 { return float64(s.queue.depth()) })
 	s.reg.RegisterFunc("service.jobs_running", func() float64 {

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// validGrantJSON is a structurally complete shard grant for reuse in seeds
+// and strictness tests.
+const validGrantJSON = `{"job":"job-000001","shard":0,"from":0,"to":5,"units":40,` +
+	`"spec":{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":40}},` +
+	`"lease":"job-000001/s0/a1","ttlMs":15000}`
+
+// FuzzShardProtocolDecode asserts the distributed wire decoders' contract
+// on arbitrary input, mirroring FuzzJobSpecDecode: none of them panics,
+// and anything a decoder accepts re-validates cleanly — so a malformed
+// work-protocol request is always a clean 400, never a half-built lease or
+// a corrupted partial upload.
+func FuzzShardProtocolDecode(f *testing.F) {
+	f.Add([]byte(`{"worker":"w1"}`))
+	f.Add([]byte(validGrantJSON))
+	f.Add([]byte(`{"job":"job-000001","shard":2,"lease":"job-000001/s2/a1"}`))
+	f.Add([]byte(`{"job":"job-000001","shard":2,"lease":"job-000001/s2/a1","error":"oom"}`))
+	f.Add([]byte(`{"job":"job-000001","shard":0,"lease":"l","units":[{"EqualMisses":1}]}`))
+	f.Add([]byte(`{"job":"","shard":-1,"lease":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"worker":"w"} trailing`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeLeaseRequest(bytes.NewReader(data)); err == nil {
+			if verr := req.Validate(); verr != nil {
+				t.Fatalf("DecodeLeaseRequest accepted an invalid request %+v: %v", req, verr)
+			}
+		}
+		if g, err := DecodeShardGrant(bytes.NewReader(data)); err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("DecodeShardGrant accepted an invalid grant %+v: %v", g, verr)
+			}
+			// An accepted grant's range must sit inside its campaign and its
+			// embedded spec must be fully valid (the worker executes it
+			// without re-checking).
+			if g.From < 0 || g.To <= g.From || g.To > g.Units {
+				t.Fatalf("accepted grant has range [%d, %d) over %d units", g.From, g.To, g.Units)
+			}
+		}
+		if a, err := DecodeShardAck(bytes.NewReader(data)); err == nil {
+			if verr := a.Validate(); verr != nil {
+				t.Fatalf("DecodeShardAck accepted an invalid ack %+v: %v", a, verr)
+			}
+		}
+		if u, err := DecodeShardUpload(bytes.NewReader(data)); err == nil {
+			if verr := u.Validate(); verr != nil {
+				t.Fatalf("DecodeShardUpload accepted an invalid upload %+v: %v", u, verr)
+			}
+			if len(u.Units) == 0 {
+				t.Fatal("accepted upload with no units")
+			}
+		}
+	})
+}
+
+// TestShardProtocolStrictness pins the rejection behaviour the handlers'
+// 400s rely on: unknown fields, trailing data, oversized bodies and
+// structurally invalid messages all fail to decode.
+func TestShardProtocolStrictness(t *testing.T) {
+	reject := []struct{ name, body string }{
+		{"empty", ``},
+		{"unknown field", `{"worker":"w","extra":1}`},
+		{"trailing data", `{"worker":"w"}{"worker":"w"}`},
+		{"missing worker", `{}`},
+		{"oversized worker", `{"worker":"` + strings.Repeat("x", 200) + `"}`},
+	}
+	for _, c := range reject {
+		if _, err := DecodeLeaseRequest(strings.NewReader(c.body)); err == nil {
+			t.Errorf("DecodeLeaseRequest accepted %s", c.name)
+		}
+	}
+	if _, err := DecodeLeaseRequest(strings.NewReader(`{"worker":"w1"}`)); err != nil {
+		t.Fatalf("valid lease request rejected: %v", err)
+	}
+
+	if _, err := DecodeShardGrant(strings.NewReader(validGrantJSON)); err != nil {
+		t.Fatalf("valid grant rejected: %v", err)
+	}
+	badGrants := []struct{ name, mutate string }{
+		{"empty range", `"to":0`},
+		{"range past units", `"units":3`},
+		{"no lease", `"lease":""`},
+		{"zero ttl", `"ttlMs":0`},
+	}
+	for _, c := range badGrants {
+		body := validGrantJSON
+		// Patch one field by value replacement on the canonical grant.
+		switch c.name {
+		case "empty range":
+			body = strings.Replace(body, `"to":5`, c.mutate, 1)
+		case "range past units":
+			body = strings.Replace(body, `"units":40`, c.mutate, 1)
+		case "no lease":
+			body = strings.Replace(body, `"lease":"job-000001/s0/a1"`, c.mutate, 1)
+		case "zero ttl":
+			body = strings.Replace(body, `"ttlMs":15000`, c.mutate, 1)
+		}
+		if _, err := DecodeShardGrant(strings.NewReader(body)); err == nil {
+			t.Errorf("DecodeShardGrant accepted grant with %s", c.name)
+		}
+	}
+
+	if _, err := DecodeShardUpload(strings.NewReader(
+		`{"job":"j","shard":0,"lease":"l","units":[]}`)); err == nil {
+		t.Error("DecodeShardUpload accepted an empty unit list")
+	}
+	if _, err := DecodeShardUpload(strings.NewReader(
+		`{"job":"j","shard":0,"lease":"l","units":[{"a":1}, null]}`)); err == nil {
+		t.Error("DecodeShardUpload accepted a null unit")
+	}
+}
+
+// TestShardUploadBound pins the upload size cap: a body past
+// maxShardUploadBytes is rejected before any JSON work happens.
+func TestShardUploadBound(t *testing.T) {
+	big := make([]byte, maxShardUploadBytes+2)
+	for i := range big {
+		big[i] = ' '
+	}
+	copy(big, `{"job":"j"`)
+	if _, err := DecodeShardUpload(bytes.NewReader(big)); err == nil ||
+		!strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized upload not rejected with a size error: %v", err)
+	}
+}
+
+// TestShardGrantRoundTrip pins that a grant survives encode/decode intact
+// — what the worker receives is exactly what the coordinator granted.
+func TestShardGrantRoundTrip(t *testing.T) {
+	g := &ShardGrant{
+		Job: "job-000007", Shard: 3, From: 15, To: 20, Units: 40,
+		Spec:  mcSpec(40, 0),
+		Lease: "job-000007/s3/a2", TTLMS: 500,
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeShardGrant(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Job != g.Job || back.Shard != g.Shard || back.From != g.From ||
+		back.To != g.To || back.Units != g.Units || back.Lease != g.Lease ||
+		back.TTLMS != g.TTLMS || SpecHash(back.Spec) != SpecHash(g.Spec) {
+		t.Fatalf("grant round-trip mutated the message:\n got %+v\nwant %+v", back, g)
+	}
+}

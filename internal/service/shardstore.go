@@ -1,0 +1,306 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"bankaware/internal/atomicio"
+)
+
+// shardPlanVersion versions the on-disk shard plan encoding.
+const shardPlanVersion = "bankaware.shard-plan/v1"
+
+// Shard lease states. A shard is pending until a worker leases it, leased
+// while a worker holds an unexpired lease, and done once a structurally
+// valid partial result is stored — done is terminal and durable (the
+// partial file is the proof).
+const (
+	ShardPending = "pending"
+	ShardLeased  = "leased"
+	ShardDone    = "done"
+)
+
+// shardWALCompactBytes triggers a shard-WAL compaction once the log grows
+// past it. Lease grants and renewals append one line each, so a
+// long-running campaign's WAL is dominated by renewals; compaction keeps
+// one line per shard (its current state). Like the intake WAL, the next
+// threshold doubles from the compacted size so steady renewal traffic
+// cannot turn O(1) appends into O(n) rewrites. A variable only so tests
+// can shrink it.
+var shardWALCompactBytes int64 = 256 << 10
+
+// shardPlan is the durable decomposition of one campaign job into shards.
+type shardPlan struct {
+	Version string      `json:"version"`
+	Job     string      `json:"job"`
+	Units   int         `json:"units"`
+	Shards  []shardSpan `json:"shards"`
+}
+
+// shardSpan is one shard's unit range [From, To).
+type shardSpan struct {
+	Index int `json:"index"`
+	From  int `json:"from"`
+	To    int `json:"to"`
+}
+
+// shardWALRecord is one shard state transition appended to state.wal.
+// DeadlineNS is the lease deadline as Unix nanoseconds (zero when not
+// leased); Attempts counts lease grants so far.
+type shardWALRecord struct {
+	Shard      int    `json:"shard"`
+	State      string `json:"state"`
+	Worker     string `json:"worker,omitempty"`
+	Lease      string `json:"lease,omitempty"`
+	DeadlineNS int64  `json:"deadlineNs,omitempty"`
+	Attempts   int    `json:"attempts,omitempty"`
+}
+
+// shardDir is one distributed job's durable shard state under
+// <store>/shards/<jobID>/: the plan (plan.json), the lease-transition WAL
+// (state.wal, compacted geometrically) and one partial-result file per
+// completed shard (partial-<index>.json, written atomically — its presence
+// is the durable "done" marker). A coordinator restarted mid-campaign
+// reloads all three and continues: done shards keep their partials,
+// unexpired leases keep their workers, and everything else re-queues.
+type shardDir struct {
+	dir  string
+	plan shardPlan
+
+	// Unsynchronised: the coordinator serialises all access behind its own
+	// lock, so the shardDir only guards its file handles' lifecycle.
+	wal       *os.File
+	walBytes  int64
+	compactAt int64
+	states    map[int]shardWALRecord
+}
+
+// shardDirPath returns where job's shard state lives under the store root.
+func (s *Store) shardDirPath(job string) string {
+	return filepath.Join(s.dir, "shards", job)
+}
+
+// openShardDir loads (or initialises) the shard state for one job. mkplan
+// builds the plan on first open; a reopened dir keeps its stored plan so a
+// config change between restarts cannot re-shard a half-finished campaign.
+func openShardDir(dir string, mkplan func() shardPlan) (*shardDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: initialising shard dir: %w", err)
+	}
+	d := &shardDir{dir: dir, states: make(map[int]shardWALRecord)}
+	planPath := filepath.Join(dir, "plan.json")
+	data, err := os.ReadFile(planPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &d.plan); err != nil {
+			return nil, fmt.Errorf("service: decoding shard plan: %w", err)
+		}
+		if d.plan.Version != shardPlanVersion || len(d.plan.Shards) == 0 {
+			return nil, fmt.Errorf("service: shard plan %s has version %q", dir, d.plan.Version)
+		}
+	case os.IsNotExist(err):
+		d.plan = mkplan()
+		data, err := json.MarshalIndent(d.plan, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("service: encoding shard plan: %w", err)
+		}
+		if err := atomicio.WriteFileBytes(planPath, append(data, '\n')); err != nil {
+			return nil, fmt.Errorf("service: persisting shard plan: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("service: reading shard plan: %w", err)
+	}
+	if err := d.replayWAL(); err != nil {
+		return nil, err
+	}
+	// Partial files are the durable truth for completion: a partial written
+	// after the last WAL sync still counts, and a WAL "done" without its
+	// partial (impossible in-order, but crash-tolerated) falls back to the
+	// lease state so the shard re-runs.
+	for _, span := range d.plan.Shards {
+		if _, err := os.Stat(d.partialPath(span.Index)); err == nil {
+			d.states[span.Index] = shardWALRecord{Shard: span.Index, State: ShardDone,
+				Attempts: d.states[span.Index].Attempts}
+		} else if st, ok := d.states[span.Index]; ok && st.State == ShardDone {
+			st.State = ShardPending
+			st.Lease, st.Worker, st.DeadlineNS = "", "", 0
+			d.states[span.Index] = st
+		}
+	}
+	if err := d.compact(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// replayWAL folds state.wal into d.states, last record per shard winning.
+// A torn tail (crash mid-append) ends the replay; the affected transition
+// was never acknowledged to a worker whose next renew re-establishes it.
+func (d *shardDir) replayWAL() error {
+	f, err := os.Open(d.walPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("service: opening shard WAL: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec shardWALRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil
+		}
+		d.states[rec.Shard] = rec
+	}
+	return sc.Err()
+}
+
+func (d *shardDir) walPath() string { return filepath.Join(d.dir, "state.wal") }
+
+func (d *shardDir) partialPath(idx int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("partial-%d.json", idx))
+}
+
+// state returns the folded WAL state for one shard (zero record when the
+// shard has never transitioned, i.e. pending).
+func (d *shardDir) state(idx int) shardWALRecord {
+	st, ok := d.states[idx]
+	if !ok {
+		return shardWALRecord{Shard: idx, State: ShardPending}
+	}
+	return st
+}
+
+// log appends one transition to the WAL (synced, so a granted lease
+// survives a coordinator crash) and folds it into the current state,
+// compacting once the log outgrows its threshold.
+func (d *shardDir) log(rec shardWALRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: encoding shard WAL record: %w", err)
+	}
+	line = append(line, '\n')
+	if d.wal == nil {
+		f, err := os.OpenFile(d.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("service: opening shard WAL: %w", err)
+		}
+		d.wal = f
+	}
+	if _, err := d.wal.Write(line); err != nil {
+		return fmt.Errorf("service: appending shard WAL: %w", err)
+	}
+	if err := d.wal.Sync(); err != nil {
+		return fmt.Errorf("service: syncing shard WAL: %w", err)
+	}
+	d.walBytes += int64(len(line))
+	d.states[rec.Shard] = rec
+	if d.walBytes > d.compactAt {
+		if err := d.compact(); err != nil {
+			// The transition is durable; a failed compaction only costs space.
+			return nil
+		}
+	}
+	return nil
+}
+
+// compact rewrites the WAL down to one line per transitioned shard.
+func (d *shardDir) compact() error {
+	idxs := make([]int, 0, len(d.states))
+	for idx := range d.states {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var buf bytes.Buffer
+	for _, idx := range idxs {
+		line, err := json.Marshal(d.states[idx])
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if d.wal != nil {
+		d.wal.Close()
+		d.wal = nil
+	}
+	if err := atomicio.WriteFileBytes(d.walPath(), buf.Bytes()); err != nil {
+		return fmt.Errorf("service: compacting shard WAL: %w", err)
+	}
+	d.walBytes = int64(buf.Len())
+	d.compactAt = shardWALCompactBytes
+	if min := 2 * d.walBytes; min > d.compactAt {
+		d.compactAt = min
+	}
+	return nil
+}
+
+// shardPartial is the stored form of one shard's uploaded results.
+type shardPartial struct {
+	Shard int               `json:"shard"`
+	Units []json.RawMessage `json:"units"`
+}
+
+// savePartial persists one shard's unit results atomically, then logs the
+// done transition. Write order matters: the partial file is the durable
+// completion marker, the WAL line only an accelerant.
+func (d *shardDir) savePartial(idx int, units []json.RawMessage, worker string, attempts int) error {
+	data, err := json.Marshal(shardPartial{Shard: idx, Units: units})
+	if err != nil {
+		return fmt.Errorf("service: encoding partial for shard %d: %w", idx, err)
+	}
+	if err := atomicio.WriteFileBytes(d.partialPath(idx), data); err != nil {
+		return fmt.Errorf("service: persisting partial for shard %d: %w", idx, err)
+	}
+	return d.log(shardWALRecord{Shard: idx, State: ShardDone, Worker: worker, Attempts: attempts})
+}
+
+// loadPartial reads one stored partial back.
+func (d *shardDir) loadPartial(idx int) ([]json.RawMessage, error) {
+	data, err := os.ReadFile(d.partialPath(idx))
+	if err != nil {
+		return nil, err
+	}
+	var p shardPartial
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("service: decoding partial for shard %d: %w", idx, err)
+	}
+	if p.Shard != idx || len(p.Units) == 0 {
+		return nil, fmt.Errorf("service: partial for shard %d is inconsistent", idx)
+	}
+	return p.Units, nil
+}
+
+// close releases the WAL handle.
+func (d *shardDir) close() error {
+	if d.wal != nil {
+		err := d.wal.Close()
+		d.wal = nil
+		return err
+	}
+	return nil
+}
+
+// remove deletes the whole shard dir (terminal cleanup after merge or
+// cancel).
+func (d *shardDir) remove() error {
+	d.close()
+	return os.RemoveAll(d.dir)
+}
+
+// leaseDeadline converts a TTL from now into the WAL's representation.
+func leaseDeadline(now time.Time, ttl time.Duration) int64 {
+	return now.Add(ttl).UnixNano()
+}
