@@ -49,6 +49,8 @@ package main
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -63,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"bankaware/internal/ledger"
 	"bankaware/internal/service"
 )
 
@@ -92,6 +95,10 @@ func main() {
 		err = shards(args)
 	case "diff":
 		err = diff(args)
+	case "verify":
+		err = verify(args)
+	case "scrub":
+		err = scrub(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -117,6 +124,10 @@ commands:
   cancel   cancel a queued or running job
   shards   print a distributed job's live shard table
   diff     compare two finished jobs' reports
+  verify   fetch a report and its ledger inclusion proof, and check the
+           bytes end to end against the daemon's Merkle root
+  scrub    run an integrity scrub (-addr: one pass on a live daemon;
+           -dir: offline over a store directory)
 
 run "bankawared <command> -h" for the command's flags`)
 }
@@ -137,12 +148,14 @@ func serve(args []string) error {
 		shardUnits  = fs.Int("shard-units", 0, "max campaign units per shard (0 = units/16)")
 		workerOf    = fs.String("worker", "", "also pull shards from this coordinator URL")
 		workerName  = fs.String("worker-name", "", "worker identity for -worker (default: the bound address)")
+		scrubEvery  = fs.Duration("scrub-every", 10*time.Minute, "background integrity-scrub interval (0 disables)")
 	)
 	fs.Parse(args)
 
 	svc, err := service.New(service.Config{
 		Dir: *dir, Jobs: *jobs, QueueCap: *queueCap, Workers: *parallel,
 		Coordinator: *coordinator, LeaseTTL: *leaseTTL, ShardUnits: *shardUnits,
+		ScrubEvery: *scrubEvery,
 	})
 	if err != nil {
 		return err
@@ -396,9 +409,10 @@ func get(args []string) error {
 func report(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	var (
-		addr = fs.String("addr", "127.0.0.1:8321", "daemon address")
-		id   = fs.String("id", "", "job ID")
-		out  = fs.String("o", "", "write the report to this file (with an ETag sidecar for conditional refetch)")
+		addr  = fs.String("addr", "127.0.0.1:8321", "daemon address")
+		id    = fs.String("id", "", "job ID")
+		out   = fs.String("o", "", "write the report to this file (with an ETag sidecar for conditional refetch)")
+		check = fs.Bool("verify", false, "verify the fetched bytes against the daemon's ledger (inclusion proof) before emitting them")
 	)
 	fs.Parse(args)
 	if *id == "" {
@@ -406,7 +420,20 @@ func report(args []string) error {
 	}
 	url := base(*addr) + "/v1/jobs/" + *id + "/report"
 	if *out == "" {
-		return printBody(url)
+		if !*check {
+			return printBody(url)
+		}
+		// Verified mode buffers: nothing reaches stdout unless the bytes
+		// check out against the ledger root.
+		data, err := fetchBytes(url)
+		if err != nil {
+			return err
+		}
+		if err := verifyReportBytes(*addr, *id, data); err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
 	}
 	// Conditional download: if we hold the file and its ETag sidecar, ask
 	// the daemon whether the stored report changed. Reports are immutable
@@ -429,6 +456,15 @@ func report(args []string) error {
 	switch resp.StatusCode {
 	case http.StatusNotModified:
 		fmt.Fprintf(os.Stderr, "report unchanged (304), keeping %s\n", *out)
+		if *check {
+			// Verify the local copy the 304 vouched for — bit-rot on the
+			// client side is exactly what the proof catches.
+			data, err := os.ReadFile(*out)
+			if err != nil {
+				return err
+			}
+			return verifyReportBytes(*addr, *id, data)
+		}
 		return nil
 	case http.StatusOK:
 	default:
@@ -437,6 +473,11 @@ func report(args []string) error {
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
+	}
+	if *check {
+		if err := verifyReportBytes(*addr, *id, data); err != nil {
+			return err
+		}
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
@@ -448,6 +489,109 @@ func report(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(data))
 	return nil
+}
+
+// fetchBytes GETs one URL fully into memory.
+func fetchBytes(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// verifyReportBytes checks report bytes end to end against the daemon's run
+// ledger: hash the bytes in hand, fetch the job's inclusion proof, confirm
+// the hash matches the ledger entry, the entry's leaf recomputes, and the
+// audit path reaches the advertised Merkle root. It fails closed: any
+// mismatch is an error, never a warning.
+func verifyReportBytes(addr, id string, data []byte) error {
+	sum := sha256.Sum256(data)
+	resp, err := http.Get(base(addr) + "/v1/jobs/" + id + "/proof")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	p, err := ledger.DecodeProof(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := p.Verify(hex.EncodeToString(sum[:])); err != nil {
+		return fmt.Errorf("report for %s FAILED verification: %w", id, err)
+	}
+	fmt.Fprintf(os.Stderr, "verified %s: sha256 %s, ledger entry %d of %d, root %s\n",
+		id, hex.EncodeToString(sum[:]), p.Entry.Index, p.TreeSize, p.Root)
+	return nil
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	var (
+		addr = fs.String("addr", "127.0.0.1:8321", "daemon address")
+		id   = fs.String("id", "", "job ID")
+		file = fs.String("file", "", "verify this local report file instead of fetching the daemon's copy")
+	)
+	fs.Parse(args)
+	if *id == "" && fs.NArg() > 0 {
+		*id = fs.Arg(0)
+	}
+	if *id == "" {
+		return fmt.Errorf("verify needs a job ID (-id or positional)")
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if *file != "" {
+		data, err = os.ReadFile(*file)
+	} else {
+		data, err = fetchBytes(base(*addr) + "/v1/jobs/" + *id + "/report")
+	}
+	if err != nil {
+		return err
+	}
+	return verifyReportBytes(*addr, *id, data)
+}
+
+func scrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	var (
+		addr = fs.String("addr", "", "run one scrub pass on this live daemon (POST /v1/scrub)")
+		dir  = fs.String("dir", "", "scrub this store directory offline (the daemon must not be running on it)")
+	)
+	fs.Parse(args)
+	switch {
+	case (*addr == "") == (*dir == ""):
+		return fmt.Errorf("scrub needs exactly one of -addr or -dir")
+	case *addr != "":
+		resp, err := http.Post(base(*addr)+"/v1/scrub", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return apiError(resp)
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	default:
+		st, err := service.OpenStore(*dir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		stats := st.Scrub(nil, true)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(stats)
+	}
 }
 
 func list(args []string) error {

@@ -1,0 +1,126 @@
+package ledger
+
+import "crypto/sha256"
+
+// RFC 6962-style hashing: leaves and interior nodes are domain-separated
+// so a leaf can never be confused with a node (second-preimage resistance
+// of the tree structure), and the root over n leaves splits at the largest
+// power of two strictly less than n.
+
+func leafHash(body []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(body)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// splitPoint returns the largest power of two strictly less than n (n >= 2).
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// merkleRoot computes the RFC 6962 tree hash of leaves (already
+// leaf-hashed). The empty tree hashes to SHA-256 of the empty string.
+func merkleRoot(leaves [][32]byte) [32]byte {
+	switch len(leaves) {
+	case 0:
+		return sha256.Sum256(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(merkleRoot(leaves[:k]), merkleRoot(leaves[k:]))
+}
+
+// inclusionPath computes the audit path of leaf m within leaves: the
+// sibling subtree hashes needed to recompute the root, ordered leaf to
+// root (RFC 6962 PATH).
+func inclusionPath(m int, leaves [][32]byte) [][32]byte {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if m < k {
+		return append(inclusionPath(m, leaves[:k]), merkleRoot(leaves[k:]))
+	}
+	return append(inclusionPath(m-k, leaves[k:]), merkleRoot(leaves[:k]))
+}
+
+// VerifyInclusion recomputes the root from a leaf hash and its audit path
+// and reports whether it matches root. index and size position the leaf
+// within the tree the path was generated against.
+func VerifyInclusion(index, size int, leaf [32]byte, path [][32]byte, root [32]byte) bool {
+	if index < 0 || size < 1 || index >= size {
+		return false
+	}
+	// Walk the path bottom-up, mirroring inclusionPath's recursion: at each
+	// level the subtree containing the leaf spans [0, size) with the split
+	// at k; fold the sibling from the correct side and descend.
+	h, ok := foldPath(index, size, leaf, path)
+	return ok && h == root
+}
+
+func foldPath(index, size int, leaf [32]byte, path [][32]byte) ([32]byte, bool) {
+	if size == 1 {
+		return leaf, len(path) == 0
+	}
+	if len(path) == 0 {
+		return [32]byte{}, false
+	}
+	k := splitPoint(size)
+	sibling := path[len(path)-1]
+	rest := path[:len(path)-1]
+	if index < k {
+		h, ok := foldPath(index, k, leaf, rest)
+		return nodeHash(h, sibling), ok
+	}
+	h, ok := foldPath(index-k, size-k, leaf, rest)
+	return nodeHash(sibling, h), ok
+}
+
+// tree is an incremental RFC 6962 tree: stack[i], when present, is the
+// root of a complete subtree of 2^i leaves, one entry per set bit of size.
+// push is O(log n) amortised; root folds the stack right-to-left.
+type tree struct {
+	size  int
+	stack [][32]byte
+}
+
+func (t *tree) push(leaf [32]byte) {
+	t.stack = append(t.stack, leaf)
+	t.size++
+	// Merge trailing complete subtrees: each low-order 1-bit carried by the
+	// increment collapses two equal-height subtrees into one.
+	for n := t.size; n&1 == 0; n >>= 1 {
+		m := len(t.stack)
+		t.stack[m-2] = nodeHash(t.stack[m-2], t.stack[m-1])
+		t.stack = t.stack[:m-1]
+	}
+}
+
+func (t *tree) root() [32]byte {
+	if t.size == 0 {
+		return sha256.Sum256(nil)
+	}
+	root := t.stack[len(t.stack)-1]
+	for i := len(t.stack) - 2; i >= 0; i-- {
+		root = nodeHash(t.stack[i], root)
+	}
+	return root
+}

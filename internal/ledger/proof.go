@@ -1,0 +1,147 @@
+package ledger
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProofVersion tags the inclusion-proof wire format
+// (GET /v1/jobs/{id}/proof).
+const ProofVersion = "bankaware.ledger-proof/v1"
+
+// maxProofBytes bounds a proof document: one entry plus at most 64 path
+// hashes is well under 64 KiB; anything larger is hostile.
+const maxProofBytes = 1 << 16
+
+// Proof is one entry's inclusion proof: the full entry (so a verifier can
+// recompute the leaf hash rather than trust it), the audit path, and the
+// root of the tree the path was generated against.
+type Proof struct {
+	Version string `json:"version"`
+	Entry   Entry  `json:"entry"`
+	// TreeSize is the entry count of the tree Root commits to.
+	TreeSize int `json:"treeSize"`
+	// Path is the audit path, leaf to root, hex node hashes.
+	Path []string `json:"path"`
+	Root string   `json:"root"`
+}
+
+// isHash reports whether s is a hex-encoded SHA-256.
+func isHash(s string) bool {
+	if len(s) != 2*sha256.Size {
+		return false
+	}
+	_, err := hex.DecodeString(s)
+	return err == nil
+}
+
+// Validate reports structural problems with the proof: version, bounds,
+// and well-formed hashes. It does not check the cryptography — Verify
+// does.
+func (p *Proof) Validate() error {
+	if p.Version != ProofVersion {
+		return fmt.Errorf("proof has version %q, want %q", p.Version, ProofVersion)
+	}
+	if p.Entry.Version != Version {
+		return fmt.Errorf("proof entry has version %q, want %q", p.Entry.Version, Version)
+	}
+	if p.Entry.Type != TypeJob && p.Entry.Type != TypeReport {
+		return fmt.Errorf("proof entry has unknown type %q", p.Entry.Type)
+	}
+	if p.Entry.Job == "" {
+		return fmt.Errorf("proof entry names no job")
+	}
+	if p.TreeSize < 1 || p.Entry.Index < 0 || p.Entry.Index >= p.TreeSize {
+		return fmt.Errorf("proof places entry %d in a tree of %d", p.Entry.Index, p.TreeSize)
+	}
+	if !isHash(p.Entry.Leaf) {
+		return fmt.Errorf("proof entry leaf is not a SHA-256")
+	}
+	if p.Entry.Prev != "" && !isHash(p.Entry.Prev) {
+		return fmt.Errorf("proof entry prev is not a SHA-256")
+	}
+	if p.Entry.Hash != "" && !isHash(p.Entry.Hash) {
+		return fmt.Errorf("proof entry content hash is not a SHA-256")
+	}
+	if p.Entry.Index > 0 && p.Entry.Prev == "" {
+		return fmt.Errorf("proof entry %d carries no chain link", p.Entry.Index)
+	}
+	if !isHash(p.Root) {
+		return fmt.Errorf("proof root is not a SHA-256")
+	}
+	if len(p.Path) > 64 {
+		return fmt.Errorf("proof path has %d nodes", len(p.Path))
+	}
+	for i, h := range p.Path {
+		if !isHash(h) {
+			return fmt.Errorf("proof path node %d is not a SHA-256", i)
+		}
+	}
+	return nil
+}
+
+// Verify checks the proof cryptographically: the entry's leaf hash
+// recomputes from its body, and the audit path connects that leaf to the
+// root. contentHash, when non-empty, is the SHA-256 the verifier computed
+// itself (e.g. over fetched report bytes) and must equal the entry's
+// recorded hash — the end-to-end link from bytes in hand to the root.
+func (p *Proof) Verify(contentHash string) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if contentHash != "" && contentHash != p.Entry.Hash {
+		return fmt.Errorf("content hash %s does not match ledger entry %d (%s)",
+			contentHash, p.Entry.Index, p.Entry.Hash)
+	}
+	leaf, err := LeafHash(p.Entry)
+	if err != nil {
+		return err
+	}
+	if hex.EncodeToString(leaf[:]) != p.Entry.Leaf {
+		return fmt.Errorf("entry %d leaf hash does not recompute from its body", p.Entry.Index)
+	}
+	path := make([][32]byte, len(p.Path))
+	for i, h := range p.Path {
+		raw, _ := hex.DecodeString(h)
+		copy(path[i][:], raw)
+	}
+	var root [32]byte
+	raw, _ := hex.DecodeString(p.Root)
+	copy(root[:], raw)
+	if !VerifyInclusion(p.Entry.Index, p.TreeSize, leaf, path, root) {
+		return fmt.Errorf("inclusion path of entry %d does not reach root %s", p.Entry.Index, p.Root)
+	}
+	return nil
+}
+
+// DecodeProof parses and validates one proof document with the
+// repository's strict decoding contract: bounded size, no unknown fields,
+// no trailing data. Anything it accepts re-validates cleanly
+// (FuzzProofDecode pins the property).
+func DecodeProof(r io.Reader) (*Proof, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxProofBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading proof: %w", err)
+	}
+	if len(data) > maxProofBytes {
+		return nil, fmt.Errorf("proof exceeds %d bytes", maxProofBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Proof
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("decoding proof: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("proof has trailing data")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -28,6 +28,11 @@ var (
 	// ErrBadUpload rejects a complete whose unit count does not match the
 	// shard's planned range.
 	ErrBadUpload = errors.New("service: upload does not match shard range")
+	// ErrCorruptUpload rejects a complete whose payload does not hash to its
+	// declared sum — the bytes were damaged between the worker computing
+	// them and the coordinator receiving them. The shard re-leases; the
+	// worker should not retry the same buffer.
+	ErrCorruptUpload = errors.New("service: upload payload does not match its declared hash")
 )
 
 // EventShard is the SSE event type announcing shard lease transitions on a
@@ -83,6 +88,7 @@ type coordinator struct {
 	leases  *metrics.Counter
 	expired *metrics.Counter
 	uploads *metrics.Counter
+	corrupt *metrics.Counter
 }
 
 func newCoordinator(s *Service) *coordinator {
@@ -92,6 +98,7 @@ func newCoordinator(s *Service) *coordinator {
 		leases:  s.reg.Counter("service.shard_leases"),
 		expired: s.reg.Counter("service.shard_lease_expiries"),
 		uploads: s.reg.Counter("service.shard_uploads"),
+		corrupt: s.reg.Counter("service.shard_corrupt_uploads"),
 	}
 }
 
@@ -158,6 +165,14 @@ func (s *Service) runDistributed(ctx context.Context, jb *job) (*metrics.Report,
 			}
 			rep, err := c.merge(set)
 			if err != nil {
+				var ce *corruptPartialError
+				if errors.As(err, &ce) {
+					// A stored partial rotted between completion and merge.
+					// loadPartial already quarantined it; re-open the shard so
+					// a worker recomputes it, and go back to waiting.
+					c.reopenShard(set, ce.shard, "partial corrupt, quarantined")
+					continue
+				}
 				return nil, err
 			}
 			dir.remove()
@@ -170,6 +185,27 @@ func (s *Service) runDistributed(ctx context.Context, jb *job) (*metrics.Report,
 			c.expireOverdue(set, time.Now())
 		}
 	}
+}
+
+// reopenShard re-queues one shard of a settled set after its stored
+// partial failed verification: the set gets a fresh settled channel (the
+// old one is closed and channels cannot reopen), the shard returns to
+// pending, and the set re-registers in the lease scan. The attempt count
+// carries over, so a partial that keeps rotting still exhausts the budget.
+func (c *coordinator) reopenShard(set *shardSet, idx int, detail string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set.settled = make(chan struct{})
+	set.done--
+	st := set.dir.state(idx)
+	set.dir.log(shardWALRecord{Shard: idx, State: ShardPending, Attempts: st.Attempts})
+	if _, ok := c.sets[set.jb.id]; !ok {
+		c.sets[set.jb.id] = set
+		c.order = append(c.order, set.jb.id)
+	}
+	set.jb.hub.publish(EventShard, shardEvent{
+		Shard: idx, State: "requeued", Attempts: st.Attempts, Detail: detail,
+	})
 }
 
 // unregister drops a job from the lease scan (idempotent).
@@ -387,6 +423,22 @@ func (s *Service) CompleteShard(u *ShardUpload) error {
 	st := set.dir.state(u.Shard)
 	if st.State == ShardDone {
 		return nil // duplicate upload: already settled, same bytes by construction
+	}
+	if got := unitsSum(u.Units); got != u.Sum {
+		// The payload rotted in transit: never store it. When the uploader
+		// still holds the lease, release the shard immediately so another
+		// worker recomputes it instead of waiting out the TTL; corruption is
+		// just another recoverable fault, bounded by the attempts budget.
+		c.corrupt.Inc()
+		if st.State == ShardLeased && st.Lease == u.Lease {
+			set.dir.log(shardWALRecord{Shard: u.Shard, State: ShardPending, Attempts: st.Attempts})
+			set.jb.hub.publish(EventShard, shardEvent{
+				Shard: u.Shard, State: "requeued", Worker: st.Worker,
+				Attempts: st.Attempts, Detail: "corrupt upload",
+			})
+		}
+		return fmt.Errorf("%w: shard %d payload hashes to %s, upload declared %s",
+			ErrCorruptUpload, u.Shard, got, u.Sum)
 	}
 	worker := st.Worker
 	if err := set.dir.savePartial(u.Shard, u.Units, worker, st.Attempts); err != nil {

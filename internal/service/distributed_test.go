@@ -118,7 +118,7 @@ func TestDistributedShuffledCompletionOrders(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				uploads[i] = &ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units}
+				uploads[i] = &ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units, Sum: unitsSum(units)}
 			}
 			for _, i := range order {
 				if err := svc.CompleteShard(uploads[i]); err != nil {
@@ -152,7 +152,7 @@ func TestDistributedCompleteIsIdempotent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		uploads = append(uploads, &ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units})
+		uploads = append(uploads, &ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units, Sum: unitsSum(units)})
 	}
 	// Truncated upload: wrong unit count for the shard's range.
 	bad := &ShardUpload{Job: uploads[0].Job, Shard: uploads[0].Shard, Lease: uploads[0].Lease,
@@ -218,7 +218,7 @@ func TestDistributedLeaseExpiryRequeues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.CompleteShard(&ShardUpload{Job: stolen.Job, Shard: stolen.Shard, Lease: stolen.Lease, Units: units}); err != nil {
+	if err := svc.CompleteShard(&ShardUpload{Job: stolen.Job, Shard: stolen.Shard, Lease: stolen.Lease, Units: units, Sum: unitsSum(units)}); err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, svc, rec.ID, StateDone)
@@ -353,7 +353,7 @@ func TestShardWALCompactionRacesRenewal(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			if err := svc.CompleteShard(&ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units}); err != nil {
+			if err := svc.CompleteShard(&ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units, Sum: unitsSum(units)}); err != nil {
 				t.Error(err)
 				return
 			}
@@ -403,7 +403,7 @@ func TestShardWALCompactionRacesRenewal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := svc2.CompleteShard(&ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units}); err != nil {
+		if err := svc2.CompleteShard(&ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units, Sum: unitsSum(units)}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -43,6 +43,15 @@ import (
 //	         304                If-None-Match matched the ETag (no body)
 //	         404                unknown job
 //	         409                job not done yet
+//	         503 + Retry-After  stored report failed integrity verification:
+//	                            it was quarantined and the job re-queued to
+//	                            recompute it; the body carries a
+//	                            machine-readable {"reason":"report-corrupt"}
+//	GET  /v1/jobs/{id}/proof   ledger inclusion proof for the stored report
+//	                           -> 200 ledger.Proof; 404 unknown; 409 no
+//	                           report entry (job not done yet)
+//	POST /v1/scrub             run one integrity scrub pass now
+//	                           -> 200 ScrubStats
 //	GET  /v1/jobs/{id}/events  live SSE stream (Last-Event-ID replay)
 //	POST /v1/jobs/{id}/cancel  cancel -> 200 JobRecord; 404 unknown;
 //	                           409 already terminal
@@ -72,6 +81,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleProof)
+	mux.HandleFunc("POST /v1/scrub", s.handleScrub)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/shards", s.handleShards)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
@@ -226,7 +237,7 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	etag, err := s.store.ReportETag(id)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "reading report: %v", err)
+		s.reportReadError(w, id, err)
 		return
 	}
 	w.Header().Set("ETag", etag)
@@ -236,13 +247,67 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := s.store.ReportBytes(id)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "reading report: %v", err)
+		s.reportReadError(w, id, err)
 		return
 	}
 	// Serve the stored file verbatim: the response body is byte-identical
 	// to the report a direct bankaware.Runner run would have written.
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// reportReadError maps a report read failure onto its HTTP response. A
+// verification failure (the stored bytes no longer hash to what the ledger
+// and record witnessed) is a 503 with Retry-After, not a 500: the store
+// already quarantined the file, this handler re-queues the job, and the
+// deterministic re-run will serve identical bytes shortly — the client
+// should simply come back.
+func (s *Service) reportReadError(w http.ResponseWriter, id string, err error) {
+	if !errors.Is(err, ErrCorrupt) {
+		writeError(w, http.StatusInternalServerError, "reading report: %v", err)
+		return
+	}
+	requeued := s.RequeueCorrupt(id)
+	w.Header().Set("Retry-After", "5")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":    err.Error(),
+		"reason":   "report-corrupt",
+		"requeued": requeued,
+	})
+}
+
+// handleProof serves the ledger inclusion proof of a finished job's stored
+// report: the ledger entry witnessing the report's content hash, the audit
+// path, and the tree root. A client verifies end to end by hashing the
+// fetched report bytes and checking them through the proof (bankawared
+// verify / report -verify).
+func (s *Service) handleProof(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if rec.State != StateDone {
+		writeError(w, http.StatusConflict, "job %s has no report (state %s)", id, rec.State)
+		return
+	}
+	led := s.store.Ledger()
+	e, ok := led.LatestReport(id)
+	if !ok {
+		writeError(w, http.StatusConflict, "ledger holds no report entry for job %s", id)
+		return
+	}
+	proof, err := led.Prove(e.Index)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building proof: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, proof)
+}
+
+func (s *Service) handleScrub(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Scrub())
 }
 
 // etagMatches implements If-None-Match for the strong ETags the report
@@ -382,12 +447,20 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	running := len(s.running)
+	last := s.lastScrub
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  status,
-		"queued":  s.queue.depth(),
-		"running": running,
-	})
+	led := s.store.Ledger()
+	out := map[string]any{
+		"status":      status,
+		"queued":      s.queue.depth(),
+		"running":     running,
+		"ledger_root": led.Root(),
+		"ledger_len":  led.Len(),
+	}
+	if last != nil {
+		out["last_scrub"] = last
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // workError maps a work-protocol error onto its HTTP status.
@@ -399,6 +472,10 @@ func workError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, "%v", err)
 	case errors.Is(err, ErrUnknownLease), errors.Is(err, ErrBadUpload):
 		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrCorruptUpload):
+		// 422: the request was well-formed but its payload is damaged; the
+		// worker must not retry the same buffer (the shard re-leased).
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}

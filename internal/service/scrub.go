@@ -1,0 +1,365 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the store scrubber: the proactive half of the integrity
+// layer (the verified read paths are the lazy half). Scrub walks the
+// durable artifacts — job records, finished reports, shard partials —
+// re-hashes their bytes against the run ledger and the job records, and
+// quarantines anything that no longer matches (a rename to *.quarantine,
+// never a silent deletion). When the corrupted artifact backed a finished
+// job whose spec is still stored, the job re-queues: determinism makes the
+// re-run reproduce the original bytes, so the system heals from bit-rot
+// instead of serving poison.
+
+// ScrubStats summarises one scrub pass (also served on /healthz as
+// last_scrub).
+type ScrubStats struct {
+	StartedAt  time.Time `json:"startedAt"`
+	DurationMS int64     `json:"durationMs"`
+	// Checked counts artifacts whose bytes were re-hashed or re-parsed.
+	Checked int `json:"checked"`
+	// Corrupt counts artifacts that failed verification this pass.
+	Corrupt int `json:"corrupt"`
+	// Quarantined lists the files moved aside (paths relative to the store).
+	Quarantined []string `json:"quarantined,omitempty"`
+	// Requeued lists jobs sent back to the queue to recompute their report.
+	Requeued []string `json:"requeued,omitempty"`
+	// Skipped counts artifacts left untouched because their job was live
+	// (queued or running) during the pass.
+	Skipped int `json:"skipped,omitempty"`
+	// Errors lists non-integrity failures (I/O) the pass hit and moved past.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Scrub verifies every stored artifact not named in skip (live jobs whose
+// files are in flux). requeue controls what happens to a finished job whose
+// report failed verification: when true the record transitions back to
+// StateQueued (the offline `bankawared scrub -dir` mode — the next daemon
+// start re-enqueues it); when false the record is left for the caller to
+// heal (the in-daemon path, which re-queues through the service so the job
+// re-executes immediately).
+func (s *Store) Scrub(skip map[string]bool, requeue bool) ScrubStats {
+	start := time.Now()
+	stats := ScrubStats{StartedAt: start.UTC()}
+	for _, rec := range s.Jobs() {
+		if skip[rec.ID] {
+			stats.Skipped++
+			continue
+		}
+		s.scrubJob(rec, requeue, &stats)
+	}
+	s.scrubPartials(skip, &stats)
+	stats.DurationMS = time.Since(start).Milliseconds()
+	return stats
+}
+
+// scrubJob verifies one job's durable footprint.
+func (s *Store) scrubJob(rec JobRecord, requeue bool, stats *ScrubStats) {
+	// The per-job record file must still parse to the same record we hold
+	// (a torn record file would fail the next restart, surface it now).
+	if s.materializedID(rec.ID) {
+		stats.Checked++
+		data, err := os.ReadFile(filepath.Join(s.dir, "jobs", rec.ID+".json"))
+		var onDisk JobRecord
+		switch {
+		case err != nil:
+			stats.Errors = append(stats.Errors, fmt.Sprintf("job %s: %v", rec.ID, err))
+		case json.Unmarshal(data, &onDisk) != nil || onDisk.ID != rec.ID:
+			stats.Corrupt++
+			if qerr := quarantineFile(filepath.Join(s.dir, "jobs", rec.ID+".json")); qerr == nil {
+				stats.Quarantined = append(stats.Quarantined, filepath.Join("jobs", rec.ID+".json"))
+				// Re-materialise the in-memory truth so the store survives a
+				// restart with the record intact.
+				if perr := s.Put(rec); perr != nil {
+					stats.Errors = append(stats.Errors, fmt.Sprintf("job %s: rewriting record: %v", rec.ID, perr))
+				}
+			} else {
+				stats.Errors = append(stats.Errors, fmt.Sprintf("job %s: quarantine: %v", rec.ID, qerr))
+			}
+		}
+	}
+	if rec.State != StateDone {
+		return
+	}
+	stats.Checked++
+	data, err := os.ReadFile(s.ReportPath(rec.ID))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Lost or already-quarantined report: nothing to move aside, but
+			// the job must recompute it.
+			stats.Corrupt++
+			s.healReport(rec, requeue, stats)
+			return
+		}
+		stats.Errors = append(stats.Errors, fmt.Sprintf("report %s: %v", rec.ID, err))
+		return
+	}
+	sum := sha256.Sum256(data)
+	got := hex.EncodeToString(sum[:])
+	ok := rec.ReportHash == "" || got == rec.ReportHash
+	// Cross-check the ledger: the record file and the report could rot
+	// together; the ledger's synced report entry is an independent witness.
+	if e, found := s.led.LatestReport(rec.ID); found && got != e.Hash {
+		ok = false
+	}
+	if ok {
+		return
+	}
+	stats.Corrupt++
+	if qerr := quarantineFile(s.ReportPath(rec.ID)); qerr != nil {
+		stats.Errors = append(stats.Errors, fmt.Sprintf("report %s: quarantine: %v", rec.ID, qerr))
+		return
+	}
+	stats.Quarantined = append(stats.Quarantined, filepath.Join("reports", rec.ID+".json"))
+	s.healReport(rec, requeue, stats)
+}
+
+// healReport re-queues a job whose report was lost to corruption, when
+// asked to (the offline scrub path; the daemon re-queues via the service).
+func (s *Store) healReport(rec JobRecord, requeue bool, stats *ScrubStats) {
+	if !requeue {
+		return
+	}
+	rec.State = StateQueued
+	rec.ReportHash = ""
+	rec.Error = ""
+	if err := s.Put(rec); err != nil {
+		stats.Errors = append(stats.Errors, fmt.Sprintf("job %s: re-queueing: %v", rec.ID, err))
+		return
+	}
+	stats.Requeued = append(stats.Requeued, rec.ID)
+}
+
+// materializedID reports whether id has a per-job file.
+func (s *Store) materializedID(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.materialized[id]
+}
+
+// scrubPartials verifies the shard partials of inactive distributed jobs
+// against the upload hashes recorded in each shard WAL. A mismatched
+// partial is quarantined; the shard re-runs when the job's coordinator
+// resumes (a missing partial demotes the shard to pending on open).
+func (s *Store) scrubPartials(skip map[string]bool, stats *ScrubStats) {
+	shardsRoot := filepath.Join(s.dir, "shards")
+	entries, err := os.ReadDir(shardsRoot)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			stats.Errors = append(stats.Errors, fmt.Sprintf("shards: %v", err))
+		}
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		job := e.Name()
+		if skip[job] {
+			stats.Skipped++
+			continue
+		}
+		dir := filepath.Join(shardsRoot, job)
+		sums := readShardSums(dir)
+		parts, err := filepath.Glob(filepath.Join(dir, "partial-*.json"))
+		if err != nil {
+			continue
+		}
+		sort.Strings(parts)
+		for _, path := range parts {
+			var idx int
+			if _, err := fmt.Sscanf(filepath.Base(path), "partial-%d.json", &idx); err != nil {
+				continue
+			}
+			want, ok := sums[idx]
+			if !ok || want == "" {
+				continue // pre-hashing partial: nothing to verify against
+			}
+			stats.Checked++
+			data, err := os.ReadFile(path)
+			if err != nil {
+				stats.Errors = append(stats.Errors, fmt.Sprintf("partial %s/%d: %v", job, idx, err))
+				continue
+			}
+			var p shardPartial
+			bad := json.Unmarshal(data, &p) != nil || p.Shard != idx || unitsSum(p.Units) != want
+			if !bad {
+				continue
+			}
+			stats.Corrupt++
+			if qerr := quarantineFile(path); qerr != nil {
+				stats.Errors = append(stats.Errors, fmt.Sprintf("partial %s/%d: quarantine: %v", job, idx, qerr))
+				continue
+			}
+			rel, _ := filepath.Rel(s.dir, path)
+			stats.Quarantined = append(stats.Quarantined, rel)
+		}
+	}
+}
+
+// readShardSums tolerantly folds a shard dir's state.wal into the last
+// known upload hash per shard (same replay rules as shardDir.replayWAL,
+// read-only).
+func readShardSums(dir string) map[int]string {
+	sums := make(map[int]string)
+	f, err := os.Open(filepath.Join(dir, "state.wal"))
+	if err != nil {
+		return sums
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec shardWALRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		if rec.State == ShardDone {
+			sums[rec.Shard] = rec.Sum
+		} else {
+			delete(sums, rec.Shard)
+		}
+	}
+	return sums
+}
+
+// Scrub runs one scrub pass over the daemon's store, skipping live jobs,
+// and re-queues every finished job whose report failed verification so the
+// fleet recomputes it. The pass is low-priority by construction: it only
+// reads and re-hashes, and the re-runs go through the ordinary queue.
+func (s *Service) Scrub() ScrubStats {
+	// Serialise passes: overlapping scrubs would race their quarantine
+	// renames and double-queue heals.
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	skip := make(map[string]bool)
+	s.mu.Lock()
+	for id, jb := range s.jobs {
+		jb.mu.Lock()
+		if jb.phase != "finished" {
+			skip[id] = true
+		}
+		jb.mu.Unlock()
+	}
+	s.mu.Unlock()
+	stats := s.store.Scrub(skip, false)
+	for _, rel := range stats.Quarantined {
+		if job, ok := quarantinedReportJob(rel); ok {
+			if s.requeueCorruptLocked(job) {
+				stats.Requeued = append(stats.Requeued, job)
+			}
+		}
+	}
+	// Reports that vanished without a quarantine (already moved aside by a
+	// prior read-path detection) still need their jobs healed.
+	for _, rec := range s.store.Jobs() {
+		if rec.State != StateDone || skip[rec.ID] {
+			continue
+		}
+		if _, err := os.Stat(s.store.ReportPath(rec.ID)); os.IsNotExist(err) {
+			if s.requeueCorruptLocked(rec.ID) {
+				stats.Requeued = append(stats.Requeued, rec.ID)
+			}
+		}
+	}
+	s.scrubRuns.Inc()
+	s.scrubCorrupt.Add(uint64(stats.Corrupt))
+	s.mu.Lock()
+	s.lastScrub = &stats
+	s.mu.Unlock()
+	return stats
+}
+
+// quarantinedReportJob extracts the job ID from a quarantined report's
+// store-relative path.
+func quarantinedReportJob(rel string) (string, bool) {
+	dir, file := filepath.Split(rel)
+	if filepath.Clean(dir) != "reports" {
+		return "", false
+	}
+	id, ok := strings.CutSuffix(file, ".json")
+	return id, ok
+}
+
+// RequeueCorrupt heals one finished job whose stored report was detected
+// corrupt: the record returns to StateQueued (clearing the stale report
+// hash) and re-enters the queue, so the deterministic re-run replaces the
+// quarantined bytes with fresh, identical ones. It reports whether the
+// job was re-queued (false: unknown, not done, draining, or queue full).
+func (s *Service) RequeueCorrupt(id string) bool {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	return s.requeueCorruptLocked(id)
+}
+
+// requeueCorruptLocked is RequeueCorrupt under healMu.
+func (s *Service) requeueCorruptLocked(id string) bool {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		// Leave the record as-is; the next daemon's scrub heals it.
+		return false
+	}
+	rec, ok := s.store.Get(id)
+	if !ok || rec.State != StateDone {
+		return false
+	}
+	rec.State = StateQueued
+	rec.ReportHash = ""
+	rec.Error = ""
+	if err := s.store.Put(rec); err != nil {
+		return false
+	}
+	jb := s.newRuntime(rec)
+	if err := s.queue.push(jb); err != nil {
+		// Queue full or closed: the record is durably queued, so the next
+		// start picks it up; nothing more to do now.
+		return true
+	}
+	jb.hub.publish(EventState, stateEvent{State: StateQueued, Detail: "re-queued after corruption"})
+	s.healed.Inc()
+	return true
+}
+
+// scrubLoop runs background scrub passes every interval until the service
+// shuts down.
+func (s *Service) scrubLoop(interval time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-ticker.C:
+			if !s.Draining() {
+				s.Scrub()
+			}
+		}
+	}
+}
+
+// LastScrub returns the most recent scrub pass's stats, if any.
+func (s *Service) LastScrub() *ScrubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastScrub
+}

@@ -68,6 +68,12 @@ type Config struct {
 	// MaxShardAttempts bounds lease grants per shard before the job fails
 	// permanently (a shard that crashes every worker it lands on). Default 5.
 	MaxShardAttempts int
+	// ScrubEvery, when positive, runs a background integrity scrub over the
+	// store at that interval: every stored report and shard partial is
+	// re-hashed against the run ledger, mismatches are quarantined and the
+	// affected jobs re-queued (see Service.Scrub). Zero disables the loop;
+	// POST /v1/scrub and `bankawared scrub` still run passes on demand.
+	ScrubEvery time.Duration
 }
 
 func (c Config) jobs() int {
@@ -132,6 +138,12 @@ type Service struct {
 	draining bool
 	started  bool
 
+	// healMu serialises integrity healing: scrub passes and read-path
+	// corruption re-queues check job state and then act on it, and two
+	// healers interleaving could enqueue the same job twice.
+	healMu    sync.Mutex
+	lastScrub *ScrubStats // guarded by mu
+
 	// dedupMu guards pending: submissions whose group commit is in flight,
 	// keyed like the store's dedup index. A duplicate arriving during the
 	// window waits for the original's commit instead of starting its own.
@@ -148,6 +160,10 @@ type Service struct {
 	canceled  *metrics.Counter
 	cacheHit  *metrics.Counter
 	cacheMiss *metrics.Counter
+
+	scrubRuns    *metrics.Counter
+	scrubCorrupt *metrics.Counter
+	healed       *metrics.Counter
 }
 
 // pendingSubmit is one in-flight original submission duplicates can latch
@@ -185,6 +201,9 @@ func New(cfg Config) (*Service, error) {
 	s.canceled = s.reg.Counter("service.jobs_canceled")
 	s.cacheHit = s.reg.Counter("service.cache_hits")
 	s.cacheMiss = s.reg.Counter("service.cache_misses")
+	s.scrubRuns = s.reg.Counter("service.scrub_runs")
+	s.scrubCorrupt = s.reg.Counter("service.scrub_corrupt")
+	s.healed = s.reg.Counter("service.jobs_healed")
 	s.batcher = newBatcher(store, cfg.IntakeHook, s.reg)
 	if cfg.Coordinator {
 		s.coord = newCoordinator(s)
@@ -243,6 +262,10 @@ func (s *Service) Start() error {
 	for i := 0; i < s.cfg.jobs(); i++ {
 		s.wg.Add(1)
 		go s.executor()
+	}
+	if s.cfg.ScrubEvery > 0 {
+		s.wg.Add(1)
+		go s.scrubLoop(s.cfg.ScrubEvery)
 	}
 	return nil
 }

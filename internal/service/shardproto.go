@@ -2,6 +2,9 @@ package service
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -121,10 +124,42 @@ type ShardUpload struct {
 	// Units holds the shard's unit results in unit order: montecarlo.Trial
 	// for Monte Carlo campaigns, experiments.PolicyRun for detailed ones.
 	Units []json.RawMessage `json:"units"`
+	// Sum is the hex SHA-256 over the unit payloads (unitsSum), computed by
+	// the worker over the bytes it is about to send. The coordinator
+	// recomputes it over the bytes it received; a mismatch means the payload
+	// was damaged in transit or in a buffer, and the shard re-leases instead
+	// of a corrupt partial being stored. Required.
+	Sum string `json:"sum"`
+}
+
+// unitsSum is the canonical content hash of a shard's unit payloads: SHA-256
+// over each unit's bytes prefixed with its big-endian uint64 length, so unit
+// boundaries are part of the hash and no concatenation of different splits
+// can collide.
+func unitsSum(units []json.RawMessage) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, unit := range units {
+		binary.BigEndian.PutUint64(n[:], uint64(len(unit)))
+		h.Write(n[:])
+		h.Write(unit)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// isHexSum reports whether s is a hex-encoded SHA-256.
+func isHexSum(s string) bool {
+	if len(s) != 2*sha256.Size {
+		return false
+	}
+	_, err := hex.DecodeString(s)
+	return err == nil
 }
 
 // Validate reports structural problems with the upload. Unit payloads are
-// opaque here; the merge decodes them against the job's kind.
+// opaque here; the merge decodes them against the job's kind. Note Sum is
+// only checked for shape — CompleteShard does the recomputation, so a
+// validation failure stays a 400 and a hash mismatch a distinct 422.
 func (u *ShardUpload) Validate() error {
 	if u.Job == "" {
 		return fmt.Errorf("shard upload needs a job ID")
@@ -134,6 +169,9 @@ func (u *ShardUpload) Validate() error {
 	}
 	if u.Lease == "" {
 		return fmt.Errorf("shard upload needs a lease token")
+	}
+	if !isHexSum(u.Sum) {
+		return fmt.Errorf("shard upload needs a SHA-256 payload sum")
 	}
 	if len(u.Units) == 0 {
 		return fmt.Errorf("shard upload carries no unit results")

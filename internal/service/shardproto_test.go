@@ -24,6 +24,10 @@ func FuzzShardProtocolDecode(f *testing.F) {
 	f.Add([]byte(`{"job":"job-000001","shard":2,"lease":"job-000001/s2/a1"}`))
 	f.Add([]byte(`{"job":"job-000001","shard":2,"lease":"job-000001/s2/a1","error":"oom"}`))
 	f.Add([]byte(`{"job":"job-000001","shard":0,"lease":"l","units":[{"EqualMisses":1}]}`))
+	validUpload, _ := json.Marshal(&ShardUpload{Job: "job-000001", Shard: 0, Lease: "l",
+		Units: []json.RawMessage{json.RawMessage(`{"EqualMisses":1}`)},
+		Sum:   unitsSum([]json.RawMessage{json.RawMessage(`{"EqualMisses":1}`)})})
+	f.Add(validUpload)
 	f.Add([]byte(`{"job":"","shard":-1,"lease":""}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`[1,2,3]`))

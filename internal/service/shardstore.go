@@ -60,6 +60,10 @@ type shardWALRecord struct {
 	Lease      string `json:"lease,omitempty"`
 	DeadlineNS int64  `json:"deadlineNs,omitempty"`
 	Attempts   int    `json:"attempts,omitempty"`
+	// Sum is the unitsSum of the stored partial, recorded on the done
+	// transition so later reads (merge, scrub) can verify the partial file
+	// against the hash that was checked at upload time.
+	Sum string `json:"sum,omitempty"`
 }
 
 // shardDir is one distributed job's durable shard state under
@@ -126,7 +130,7 @@ func openShardDir(dir string, mkplan func() shardPlan) (*shardDir, error) {
 	for _, span := range d.plan.Shards {
 		if _, err := os.Stat(d.partialPath(span.Index)); err == nil {
 			d.states[span.Index] = shardWALRecord{Shard: span.Index, State: ShardDone,
-				Attempts: d.states[span.Index].Attempts}
+				Attempts: d.states[span.Index].Attempts, Sum: d.states[span.Index].Sum}
 		} else if st, ok := d.states[span.Index]; ok && st.State == ShardDone {
 			st.State = ShardPending
 			st.Lease, st.Worker, st.DeadlineNS = "", "", 0
@@ -254,8 +258,9 @@ type shardPartial struct {
 }
 
 // savePartial persists one shard's unit results atomically, then logs the
-// done transition. Write order matters: the partial file is the durable
-// completion marker, the WAL line only an accelerant.
+// done transition carrying the payload hash. Write order matters: the
+// partial file is the durable completion marker, the WAL line only an
+// accelerant.
 func (d *shardDir) savePartial(idx int, units []json.RawMessage, worker string, attempts int) error {
 	data, err := json.Marshal(shardPartial{Shard: idx, Units: units})
 	if err != nil {
@@ -264,21 +269,52 @@ func (d *shardDir) savePartial(idx int, units []json.RawMessage, worker string, 
 	if err := atomicio.WriteFileBytes(d.partialPath(idx), data); err != nil {
 		return fmt.Errorf("service: persisting partial for shard %d: %w", idx, err)
 	}
-	return d.log(shardWALRecord{Shard: idx, State: ShardDone, Worker: worker, Attempts: attempts})
+	return d.log(shardWALRecord{Shard: idx, State: ShardDone, Worker: worker,
+		Attempts: attempts, Sum: unitsSum(units)})
 }
 
-// loadPartial reads one stored partial back.
+// corruptPartialError signals that a stored partial failed verification at
+// merge time and was quarantined; the shard must re-run.
+type corruptPartialError struct {
+	shard int
+	cause string
+}
+
+func (e *corruptPartialError) Error() string {
+	return fmt.Sprintf("service: partial for shard %d corrupt: %s (quarantined)", e.shard, e.cause)
+}
+
+func (e *corruptPartialError) Unwrap() error { return ErrCorrupt }
+
+// loadPartial reads one stored partial back and verifies it: structure
+// first, then the payload hash against the sum the WAL recorded at upload
+// time (when present — partials written before hashing verify structurally
+// only). A failed partial is quarantined and reported as
+// *corruptPartialError so the coordinator re-queues the shard instead of
+// failing the job.
 func (d *shardDir) loadPartial(idx int) ([]json.RawMessage, error) {
 	data, err := os.ReadFile(d.partialPath(idx))
 	if err != nil {
 		return nil, err
 	}
 	var p shardPartial
+	corrupt := func(cause string) ([]json.RawMessage, error) {
+		if qerr := quarantineFile(d.partialPath(idx)); qerr != nil {
+			return nil, fmt.Errorf("service: partial for shard %d corrupt (%s), quarantine failed: %v",
+				idx, cause, qerr)
+		}
+		return nil, &corruptPartialError{shard: idx, cause: cause}
+	}
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("service: decoding partial for shard %d: %w", idx, err)
+		return corrupt(fmt.Sprintf("decoding: %v", err))
 	}
 	if p.Shard != idx || len(p.Units) == 0 {
-		return nil, fmt.Errorf("service: partial for shard %d is inconsistent", idx)
+		return corrupt("inconsistent shard index or empty units")
+	}
+	if want := d.state(idx).Sum; want != "" {
+		if got := unitsSum(p.Units); got != want {
+			return corrupt(fmt.Sprintf("payload hashes to %s, upload recorded %s", got, want))
+		}
 	}
 	return p.Units, nil
 }

@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,8 +16,16 @@ import (
 	"time"
 
 	"bankaware/internal/atomicio"
+	"bankaware/internal/ledger"
 	"bankaware/internal/metrics"
 )
+
+// ErrCorrupt reports a stored artifact (report, shard partial) whose bytes
+// no longer match their recorded content hash — bit-rot, truncation or
+// tampering. The read path quarantines the file before returning it, and
+// the HTTP layer maps the error to 503 + Retry-After (the job self-heals
+// by re-running) rather than serving poison or a generic 500.
+var ErrCorrupt = errors.New("service: stored artifact corrupt")
 
 // Job states. A job is terminal in StateDone, StateFailed or StateCanceled;
 // StateQueued and StateRunning survive restarts as "re-enqueue me".
@@ -100,6 +109,10 @@ var walCompactBytes int64 = 4 << 20
 // newer truth when both exist.
 type Store struct {
 	dir string
+	// led is the tamper-evident run ledger (ledger.log): every job
+	// transition and stored report hash appends an entry, and its Merkle
+	// root is the integrity commitment /healthz exposes.
+	led *ledger.Ledger
 
 	mu    sync.Mutex
 	jobs  map[string]JobRecord
@@ -185,8 +198,66 @@ func OpenStore(dir string) (*Store, error) {
 	if err := st.compactWALLocked(); err != nil {
 		return nil, err
 	}
+	if err := st.openLedger(); err != nil {
+		return nil, err
+	}
 	return st, nil
 }
+
+// ledgerPath returns where the run ledger lives.
+func (s *Store) ledgerPath() string { return filepath.Join(s.dir, "ledger.log") }
+
+// openLedger opens the store's run ledger, handling the two degraded
+// cases: a corrupt ledger is quarantined (renamed, never deleted) and
+// rebuilt, and an empty ledger over a non-empty store (a pre-ledger store,
+// or the rebuild after a quarantine) is bootstrapped from the stored
+// records — the root is reproducible from the store.
+func (s *Store) openLedger() error {
+	led, err := ledger.Open(s.ledgerPath())
+	if errors.Is(err, ledger.ErrCorrupt) {
+		quarantined := s.ledgerPath() + ".quarantine"
+		if rerr := os.Rename(s.ledgerPath(), quarantined); rerr != nil {
+			return fmt.Errorf("service: quarantining corrupt ledger: %v (detected: %w)", rerr, err)
+		}
+		led, err = ledger.Open(s.ledgerPath())
+	}
+	if err != nil {
+		return fmt.Errorf("service: opening run ledger: %w", err)
+	}
+	s.led = led
+	if led.Len() > 0 || len(s.order) == 0 {
+		return nil
+	}
+	// Rebuild: one entry per stored job at its current state, plus the
+	// report hash of every finished job (hashing the stored bytes, so a
+	// rebuilt root vouches for what is actually on disk).
+	var recs []ledger.Record
+	for _, ref := range s.order {
+		rec := s.jobs[ref.id]
+		recs = append(recs, ledger.Record{
+			Type: ledger.TypeJob, Job: rec.ID, Data: rec.State, Hash: rec.SpecHash,
+		})
+		if rec.State != StateDone {
+			continue
+		}
+		data, err := os.ReadFile(s.ReportPath(rec.ID))
+		if err != nil {
+			continue // scrub will flag the missing report
+		}
+		sum := sha256.Sum256(data)
+		recs = append(recs, ledger.Record{
+			Type: ledger.TypeReport, Job: rec.ID, Hash: hex.EncodeToString(sum[:]),
+		})
+	}
+	if _, err := led.AppendBatch(recs, true); err != nil {
+		return fmt.Errorf("service: rebuilding run ledger: %w", err)
+	}
+	return nil
+}
+
+// Ledger exposes the store's run ledger (proof endpoint, health root,
+// scrub cross-checks).
+func (s *Store) Ledger() *ledger.Ledger { return s.led }
 
 // replayWAL folds the intake WAL into the in-memory map. A WAL entry is
 // authoritative only while its job has no per-job file: the first Put
@@ -330,6 +401,17 @@ func (s *Store) AppendIntake(recs []JobRecord) error {
 	}
 	s.syncs++
 	s.walBytes += int64(buf.Len())
+	// Ledger the queued transitions as one batch write. No fsync here: the
+	// intake WAL is the durability of the ack; these observational entries
+	// ride along on the next synced append (a crash can drop the tail,
+	// which ledger replay tolerates like a torn WAL batch).
+	lrecs := make([]ledger.Record, len(recs))
+	for i, rec := range recs {
+		lrecs[i] = ledger.Record{Type: ledger.TypeJob, Job: rec.ID, Data: rec.State, Hash: rec.SpecHash}
+	}
+	if _, err := s.led.AppendBatch(lrecs, false); err != nil {
+		return err
+	}
 	for _, rec := range recs {
 		s.jobs[rec.ID] = rec
 		s.orderInsertLocked(rec.Seq, rec.ID)
@@ -386,6 +468,13 @@ func (s *Store) Put(rec JobRecord) error {
 	if err := atomicio.WriteFileBytes(path, append(data, '\n')); err != nil {
 		return fmt.Errorf("service: persisting job record %s: %w", rec.ID, err)
 	}
+	// Every transition appends to the run ledger; terminal states sync so
+	// a "done" a client acts on can never vanish from the log.
+	if _, err := s.led.Append(ledger.Record{
+		Type: ledger.TypeJob, Job: rec.ID, Data: rec.State, Hash: rec.SpecHash,
+	}, rec.Terminal()); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.jobs[rec.ID] = rec
 	s.orderInsertLocked(rec.Seq, rec.ID)
@@ -393,6 +482,9 @@ func (s *Store) Put(rec JobRecord) error {
 	s.indexLocked(rec)
 	if rec.ReportHash != "" {
 		s.etags[rec.ID] = reportETag(rec.ReportHash)
+	} else {
+		// A quarantine re-queue cleared the hash; drop the stale memo.
+		delete(s.etags, rec.ID)
 	}
 	s.mu.Unlock()
 	return nil
@@ -472,15 +564,66 @@ func (s *Store) SaveReport(id string, rep *metrics.Report) (string, error) {
 	}
 	sum := sha256.Sum256(buf.Bytes())
 	hash := hex.EncodeToString(sum[:])
+	// The report entry is the leaf a client's end-to-end verification
+	// lands on; it must be durable before the job is announced done.
+	if _, err := s.led.Append(ledger.Record{
+		Type: ledger.TypeReport, Job: id, Hash: hash,
+	}, true); err != nil {
+		return "", err
+	}
 	s.mu.Lock()
 	s.etags[id] = reportETag(hash)
 	s.mu.Unlock()
 	return hash, nil
 }
 
-// ReportBytes returns the stored report verbatim.
+// ReportBytes returns the stored report verbatim, with integrity
+// verification: the bytes are re-hashed against the job record's content
+// hash (falling back to the ledger's latest report entry for records
+// written before report hashing). A mismatch — bit-rot, truncation, a torn
+// external copy — quarantines the file and returns ErrCorrupt, so corrupt
+// bytes are never served as valid.
 func (s *Store) ReportBytes(id string) ([]byte, error) {
-	return os.ReadFile(s.ReportPath(id))
+	data, err := os.ReadFile(s.ReportPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			if _, qerr := os.Stat(s.ReportPath(id) + ".quarantine"); qerr == nil {
+				// Quarantined but not yet healed: corrupt, not merely absent.
+				return nil, fmt.Errorf("%w: report for %s is quarantined", ErrCorrupt, id)
+			}
+		}
+		return nil, err
+	}
+	want := ""
+	s.mu.Lock()
+	if rec, ok := s.jobs[id]; ok {
+		want = rec.ReportHash
+	}
+	s.mu.Unlock()
+	if want == "" {
+		if e, ok := s.led.LatestReport(id); ok {
+			want = e.Hash
+		}
+	}
+	if want == "" {
+		return data, nil
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != want {
+		detail := fmt.Sprintf("report for %s hashes to %s, ledger/record say %s", id, got, want)
+		if qerr := quarantineFile(s.ReportPath(id)); qerr != nil {
+			return nil, fmt.Errorf("%w: %s (quarantine failed: %v)", ErrCorrupt, detail, qerr)
+		}
+		return nil, fmt.Errorf("%w: %s (quarantined)", ErrCorrupt, detail)
+	}
+	return data, nil
+}
+
+// quarantineFile moves a corrupt artifact aside as <path>.quarantine —
+// never a silent deletion; the bytes stay on disk as evidence while the
+// original path frees up for a clean re-run to heal.
+func quarantineFile(path string) error {
+	return os.Rename(path, path+".quarantine")
 }
 
 // ReportETag returns the strong ETag of id's stored report, hashing the
@@ -518,15 +661,21 @@ func (s *Store) ReportETag(id string) (string, error) {
 // reportETag formats a report content hash as a strong HTTP ETag.
 func reportETag(hash string) string { return `"sha256-` + hash + `"` }
 
-// Close releases the intake WAL handle. Records and reports are plain
-// files; nothing else needs teardown.
+// Close releases the intake WAL handle and the run ledger (syncing any
+// buffered observational entries). Records and reports are plain files;
+// nothing else needs teardown.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var err error
 	if s.wal != nil {
-		err := s.wal.Close()
+		err = s.wal.Close()
 		s.wal = nil
-		return err
 	}
-	return nil
+	if s.led != nil {
+		if lerr := s.led.Close(); err == nil {
+			err = lerr
+		}
+	}
+	return err
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -274,9 +275,68 @@ func isTransport(err error) bool {
 	return errors.As(err, &te)
 }
 
+// statusError carries a non-2xx coordinator verdict with its status code,
+// so the retry policy can tell a transient 5xx (retry) from a definitive
+// 4xx (don't: the coordinator understood the request and said no).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// retryable reports whether err is worth another attempt: the coordinator
+// was unreachable (transport) or answered with a server-side failure (5xx).
+// Context cancellation is terminal even though it surfaces as a transport
+// error — the backoff select notices it immediately.
+func retryable(err error) bool {
+	if isTransport(err) {
+		return true
+	}
+	var se *statusError
+	return errors.As(err, &se) && se.code >= 500
+}
+
+// postRetry runs post with capped exponential backoff plus jitter on
+// retryable failures, bounded by budget so a dead coordinator cannot pin a
+// call (or starve the lease-renewal cadence) indefinitely. out, when
+// non-nil, is reset before every attempt so a half-written response from a
+// failed attempt never prefixes the next one.
+func (w *Worker) postRetry(path string, body any, out *bytes.Buffer, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	delay := 50 * time.Millisecond
+	const maxDelay = 2 * time.Second
+	for {
+		if out != nil {
+			out.Reset()
+		}
+		var err error
+		if out != nil {
+			err = w.post(path, body, out)
+		} else {
+			err = w.post(path, body, nil)
+		}
+		if err == nil || !retryable(err) {
+			return err
+		}
+		sleep := delay + time.Duration(rand.Int63n(int64(delay/2)+1))
+		if time.Now().Add(sleep).After(deadline) {
+			return err
+		}
+		select {
+		case <-w.ctx.Done():
+			return err
+		case <-time.After(sleep):
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
 // post sends one JSON body and decodes the response envelope. A non-2xx
-// status returns the server's error message; failure to reach the server
-// returns a transportError.
+// status returns the server's error message as a statusError; failure to
+// reach the server returns a transportError.
 func (w *Worker) post(path string, body any, out io.Writer) error {
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -298,7 +358,8 @@ func (w *Worker) post(path string, body any, out io.Writer) error {
 	}
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("service: coordinator %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		return &statusError{code: resp.StatusCode, msg: fmt.Sprintf(
+			"service: coordinator %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))}
 	}
 	if out != nil {
 		if _, err := io.Copy(out, io.LimitReader(resp.Body, maxSpecBytes+maxShardAckBytes)); err != nil {
@@ -308,10 +369,12 @@ func (w *Worker) post(path string, body any, out io.Writer) error {
 	return nil
 }
 
-// lease asks for one shard; ok is false when the coordinator is idle.
+// lease asks for one shard; ok is false when the coordinator is idle. A
+// coordinator mid-restart gets a few quick retries before the pull loop
+// falls back to its poll sleep.
 func (w *Worker) lease() (*ShardGrant, bool, error) {
 	var buf bytes.Buffer
-	err := w.post("/v1/work/lease", &LeaseRequest{Worker: w.cfg.Name}, &buf)
+	err := w.postRetry("/v1/work/lease", &LeaseRequest{Worker: w.cfg.Name}, &buf, 4*w.cfg.poll())
 	if err != nil {
 		return nil, false, err
 	}
@@ -325,8 +388,13 @@ func (w *Worker) lease() (*ShardGrant, bool, error) {
 	return g, true, nil
 }
 
+// renew extends the held lease. Its retry budget is a quarter of the TTL —
+// under the TTL/3 heartbeat cadence — so a slow coordinator can be retried
+// without one renewal's backoff starving the next tick.
 func (w *Worker) renew(g *ShardGrant) error {
-	return w.post("/v1/work/renew", &ShardAck{Job: g.Job, Shard: g.Shard, Lease: g.Lease}, nil)
+	ttl := time.Duration(g.TTLMS) * time.Millisecond
+	return w.postRetry("/v1/work/renew",
+		&ShardAck{Job: g.Job, Shard: g.Shard, Lease: g.Lease}, nil, ttl/4)
 }
 
 func (w *Worker) fail(g *ShardGrant, cause error) error {
@@ -353,7 +421,14 @@ func (w *Worker) fail(g *ShardGrant, cause error) error {
 	return nil
 }
 
+// complete uploads the shard's results with the payload hash the
+// coordinator verifies before storing. Retries get a full lease TTL:
+// completion is not lease-gated, so even an upload that lands after expiry
+// is accepted (and a corrupt-in-transit one is rejected with a 422, which
+// is deliberately not retried — the buffer itself is suspect).
 func (w *Worker) complete(g *ShardGrant, units []json.RawMessage) error {
-	return w.post("/v1/work/complete",
-		&ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease, Units: units}, nil)
+	return w.postRetry("/v1/work/complete",
+		&ShardUpload{Job: g.Job, Shard: g.Shard, Lease: g.Lease,
+			Units: units, Sum: unitsSum(units)}, nil,
+		time.Duration(g.TTLMS)*time.Millisecond)
 }
