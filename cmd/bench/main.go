@@ -68,6 +68,9 @@ var suite = []struct {
 	{"DirectoryAccess", benchmarks.DirectoryAccess},
 	{"MSHRFill", benchmarks.MSHRFill},
 	{"SystemStep", benchmarks.SystemStep},
+	{"SystemStepParallel2", benchmarks.SystemStepParallel2},
+	{"SystemStepParallel4", benchmarks.SystemStepParallel4},
+	{"SystemStepParallel8", benchmarks.SystemStepParallel8},
 	{"ServiceSubmitThroughput", benchmarks.ServiceSubmitThroughput},
 	{"ServiceCachedSubmit", benchmarks.ServiceCachedSubmit},
 }

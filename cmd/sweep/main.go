@@ -33,6 +33,7 @@ func main() {
 		ablation    = flag.String("ablation", "", "run an ablation: profiler|epoch|cap|plru|strict")
 		accesses    = flag.Int("accesses", 200_000, "accesses for aggregation/profiler studies")
 		parallel    = flag.Int("parallel", 0, "worker bound (0 = all cores); results do not depend on it")
+		simWork     = flag.Int("sim-workers", 0, "execution lanes inside each simulation (0/1 = sequential); results do not depend on it")
 		timeout     = flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 		progress    = flag.Bool("progress", false, "render a live progress line on stderr")
 		report      = flag.String("report", "", "write the machine-readable JSON sweep report to this file")
@@ -50,7 +51,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := experiments.Options{Workers: *parallel}
+	opt := experiments.Options{Workers: *parallel, SimWorkers: *simWork}
 	if *faultPath != "" {
 		plan, err := faults.Load(*faultPath)
 		if err != nil {

@@ -16,13 +16,13 @@ var updateGolden = flag.Bool("update", false, "rewrite golden run-report files")
 // model machine with a shortened epoch (so the dynamic policy repartitions
 // several times within the budget), observed, and serialised through the
 // Runner's report writer.
-func goldenReport(t *testing.T, workers int) []byte {
+func goldenReport(t *testing.T, workers int, opts ...bankaware.RunnerOption) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	r := bankaware.NewRunner(
+	r := bankaware.NewRunner(append([]bankaware.RunnerOption{
 		bankaware.WithWorkers(workers),
 		bankaware.WithReportWriter(&buf),
-	)
+	}, opts...)...)
 	cfg := bankaware.ScaleModel.Config()
 	cfg.EpochCycles = 200_000
 	if _, err := r.RunSet(cfg, 1, bankaware.TableIIISets[0][:], 300_000); err != nil {
@@ -111,5 +111,25 @@ func TestGoldenRunReportWorkerInvariant(t *testing.T) {
 	parallel := goldenReport(t, 8)
 	if !bytes.Equal(serial, parallel) {
 		t.Fatal("report bytes differ between 1 and 8 workers")
+	}
+}
+
+// TestGoldenRunReportSimWorkerInvariant: the exact bytes of the report must
+// not depend on the intra-simulation lane count either — the pipelined
+// executor (WithSimWorkers >= 2) must reproduce the sequential loop's
+// report bit for bit, pinned against the committed golden file.
+func TestGoldenRunReportSimWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full set evaluation in -short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden-set1-report.json"))
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	for _, lanes := range []int{1, 2, 8} {
+		got := goldenReport(t, 1, bankaware.WithSimWorkers(lanes))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("simWorkers=%d: report bytes differ from the golden file", lanes)
+		}
 	}
 }

@@ -668,10 +668,22 @@ func (b *Bank) Insert(addr trace.Addr, core int, dirty bool) Result {
 
 // Probe reports whether addr is resident without perturbing LRU state or
 // statistics. The coherence directory and the Parallel aggregation scheme's
-// multi-bank lookup use it.
+// multi-bank lookup use it. For banks with per-set state words the set's
+// partial-tag word rejects an absent block with one SWAR compare — the
+// common case of the multi-bank probe loops and the writeback path — and
+// only candidate lanes (real hits plus ~1/128-per-way false positives) read
+// the full-tag array.
 func (b *Bank) Probe(addr trace.Addr) bool {
 	si, tag := b.decompose(addr)
 	base := int(si) * b.ways
+	if b.psr != nil {
+		for c := zeroBytes(b.psr[2*si] ^ partialOf(tag)*swarOnes); c != 0; c &= c - 1 {
+			if b.tags[base+bits.TrailingZeros64(c)>>3] == tag {
+				return true
+			}
+		}
+		return false
+	}
 	tags := b.tags[base : base+b.ways]
 	for w := range tags {
 		if tags[w] == tag {
@@ -690,6 +702,16 @@ func (b *Bank) ProbeFor(addr trace.Addr, core int) bool {
 	}
 	si, tag := b.decompose(addr)
 	base := int(si) * b.ways
+	if b.psr != nil {
+		owned := b.ownedBy[core]
+		for c := zeroBytes(b.psr[2*si] ^ partialOf(tag)*swarOnes); c != 0; c &= c - 1 {
+			w := bits.TrailingZeros64(c) >> 3
+			if b.tags[base+w] == tag && owned>>w&1 != 0 {
+				return true
+			}
+		}
+		return false
+	}
 	tags := b.tags[base : base+b.ways]
 	for w := range tags {
 		if tags[w] == tag && b.wayOwner[w].Has(core) {

@@ -72,6 +72,11 @@ type Response struct {
 	// Invalidations is the number of peer copies invalidated; each costs a
 	// network round trip in the simulator's latency model.
 	Invalidations int
+	// Invalidated is the set of peer cores whose copies this request
+	// invalidated (the pre-transition owner and sharers, minus the
+	// requester). The simulator clears exactly these peers' L1s instead of
+	// scanning every core; Invalidations == Invalidated.Count().
+	Invalidated cache.OwnerMask
 	// NewState is the state the requester's copy enters.
 	NewState State
 	// PeerWriteback is set when a dirty peer copy was flushed to L2 as part
@@ -268,7 +273,7 @@ func (d *Directory) OnWriteMiss(core int, addr trace.Addr) Response {
 	e := d.get(addr)
 	resp := Response{Source: FromL2, NewState: Modified}
 	if e.owner >= 0 && int(e.owner) != core {
-		resp.Invalidations++
+		resp.Invalidated = resp.Invalidated.With(int(e.owner))
 		resp.Source = FromCache
 		d.stats.CacheTransfers++
 		if State(e.ownerState) == Modified || State(e.ownerState) == Owned {
@@ -276,7 +281,8 @@ func (d *Directory) OnWriteMiss(core int, addr trace.Addr) Response {
 			resp.PeerWriteback = false
 		}
 	}
-	resp.Invalidations += (e.sharers &^ (1 << core)).Count()
+	resp.Invalidated |= e.sharers &^ (1 << core)
+	resp.Invalidations = resp.Invalidated.Count()
 	d.stats.Invalidations += uint64(resp.Invalidations)
 	e.owner = int8(core)
 	e.ownerState = uint8(Modified)
@@ -291,9 +297,10 @@ func (d *Directory) OnUpgrade(core int, addr trace.Addr) Response {
 	e := d.get(addr)
 	resp := Response{Source: FromL2, NewState: Modified}
 	if e.owner >= 0 && int(e.owner) != core {
-		resp.Invalidations++
+		resp.Invalidated = resp.Invalidated.With(int(e.owner))
 	}
-	resp.Invalidations += (e.sharers &^ (1 << core)).Count()
+	resp.Invalidated |= e.sharers &^ (1 << core)
+	resp.Invalidations = resp.Invalidated.Count()
 	d.stats.Invalidations += uint64(resp.Invalidations)
 	e.owner = int8(core)
 	e.ownerState = uint8(Modified)

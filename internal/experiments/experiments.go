@@ -54,6 +54,13 @@ type Options struct {
 	Retries      int
 	RetryBackoff time.Duration
 	JobTimeout   time.Duration
+	// SimWorkers bounds the execution lanes *inside* each simulation (see
+	// sim.System.SetSimWorkers); 0 or 1 runs the classic sequential loop.
+	// Like Workers it is an execution knob: results are byte-identical for
+	// every value. Workers parallelises across simulations, SimWorkers
+	// within one — the two compose, so keep Workers*SimWorkers near the
+	// machine's core count.
+	SimWorkers int
 }
 
 // runnerConfig builds the engine configuration for one fan-out.
@@ -190,11 +197,12 @@ type PolicyRun struct {
 // also attaches the metrics layer and exports the run report covering the
 // measurement window; sample, when non-nil, taps the measured phase's epoch
 // samples live.
-func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, observe bool, sample func(metrics.EpochSample)) (PolicyRun, error) {
+func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, simWorkers int, observe bool, sample func(metrics.EpochSample)) (PolicyRun, error) {
 	sys, err := sim.New(cfg, core.ClonePolicy(proto), specs)
 	if err != nil {
 		return PolicyRun{}, err
 	}
+	sys.SetSimWorkers(simWorkers)
 	var rec *metrics.Recorder
 	if observe {
 		rec = metrics.NewRecorder()
@@ -256,7 +264,7 @@ func RunSetPolicyContext(ctx context.Context, cfg sim.Config, workloads []string
 	}
 	protos := setPolicyPrototypes()
 	observe := opt.Observe || opt.Sample != nil
-	return runPolicy(ctx, cfg, specs, protos[policy], workloads, instructions, observe,
+	return runPolicy(ctx, cfg, specs, protos[policy], workloads, instructions, opt.SimWorkers, observe,
 		opt.sampler(protos[policy].Name()))
 }
 
@@ -337,7 +345,7 @@ func RunCampaignUnitContext(ctx context.Context, scale Scale, instructions uint6
 	if err != nil {
 		return PolicyRun{}, err
 	}
-	r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, observe,
+	r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, opt.SimWorkers, observe,
 		opt.sampler(fmt.Sprintf("set%d/%s", set+1, protos[pol].Name())))
 	if err != nil {
 		return PolicyRun{}, fmt.Errorf("set %d (%s): %w", set+1, protos[pol].Name(), err)

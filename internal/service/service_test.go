@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"bankaware/internal/experiments"
 	"bankaware/internal/montecarlo"
 	"bankaware/internal/runner"
 )
@@ -92,6 +93,56 @@ func TestSubmitRunsToByteIdenticalReport(t *testing.T) {
 	want := directMonteCarloBytes(t, 40, 2009)
 	if !bytes.Equal(got, want) {
 		t.Fatalf("service report differs from direct run:\nservice: %.200s\ndirect:  %.200s", got, want)
+	}
+}
+
+// TestSimWorkersIsExecutionKnob pins the two halves of the simWorkers
+// contract: the knob never reaches the content hash (two submissions
+// differing only there are the same cache entry), and a job served with the
+// pipelined executor writes byte-for-byte the report a direct sequential
+// library run produces.
+func TestSimWorkersIsExecutionKnob(t *testing.T) {
+	base := JobSpec{
+		Kind: KindSet, Observe: true,
+		Set: &SetSpec{Set: 1, EpochCycles: 100_000, Instructions: 120_000},
+	}
+	lanes := base
+	lanes.SimWorkers = 4
+	if hb, hl := SpecHash(base), SpecHash(lanes); hb != hl {
+		t.Fatalf("simWorkers leaked into the spec hash: %s vs %s", hb, hl)
+	}
+
+	svc, err := New(Config{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	rec, err := svc.Submit(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, rec.ID, StateDone)
+	got, err := svc.Store().ReportBytes(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := experiments.ScaleModel.Config()
+	cfg.EpochCycles = 100_000
+	res, err := experiments.RunSetContext(context.Background(), cfg, 1,
+		experiments.TableIIISets[0][:], 120_000, experiments.Options{Workers: 1, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.Report().WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("parallel-executor service report differs from direct sequential run:\nservice: %.200s\ndirect:  %.200s", got, want.Bytes())
 	}
 }
 

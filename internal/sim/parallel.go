@@ -1,0 +1,374 @@
+// Intra-simulation parallelism: one simulation spread over several OS
+// threads with byte-identical results.
+//
+// The sequential scheduler's shared-state mutations — bank occupancy
+// timelines, DRAM and link queues, directory transitions, L1
+// back-invalidations — are order-sensitive: the min-local-clock schedule
+// decides which core touches each resource next, and that order feeds back
+// into the clocks that drive the schedule. Sharding those mutations across
+// threads would need speculative execution with rollback to preserve the
+// observable event order. What *is* order-free is everything per-core on
+// either side of the shared state:
+//
+//   - Trace generation (trace.Generator.Next) has zero feedback from the
+//     simulation — a core's access sequence is a pure function of the spec
+//     and seed — so it can run arbitrarily far ahead on another thread.
+//   - MSA profiler application (msa.Profiler.Access) is per-core state
+//     that nothing reads between repartition boundaries, so it can lag
+//     arbitrarily far behind on another thread.
+//
+// The pipeline below exploits exactly those two ends: prefetcher goroutines
+// generate each core's trace in batches ahead of time, applier goroutines
+// replay each core's profiler accesses behind time, and the commit thread
+// in between executes the unchanged sequential schedule over all shared
+// state. Every value the commit thread consumes is identical to what the
+// sequential loop would have computed, and every profiler read happens
+// behind a flush barrier, so reports are byte-identical for any worker
+// count — the same contract the campaign-level engine gives, one level
+// down. See DESIGN.md, "Performance model".
+package sim
+
+import (
+	"sync"
+
+	"bankaware/internal/nuca"
+	"bankaware/internal/trace"
+)
+
+// SetSimWorkers bounds the number of concurrent execution lanes one
+// simulation may use: 0 or 1 (the default) runs the classic single-threaded
+// loop; n >= 2 enables the pipelined executor with n-1 offload lanes
+// feeding the commit thread. The setting takes effect at the next Run and
+// never changes simulated outcomes — results and run reports are
+// byte-identical for every value (there is a differential oracle and a
+// golden-report pin covering this).
+func (s *System) SetSimWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.simWorkers = n
+}
+
+// SimWorkers returns the configured lane bound (0 means sequential).
+func (s *System) SimWorkers() int { return s.simWorkers }
+
+// Batch sizes trade synchronisation amortisation against lead/lag memory:
+// one channel operation per ~256 events keeps the per-access overhead to a
+// fraction of a nanosecond while a full pipeline holds only a few thousand
+// in-flight events per core.
+const (
+	traceBatchLen = 256
+	profBatchLen  = 256
+	// traceLead is how many batches a prefetcher keeps queued per core.
+	traceLead = 2
+	// profLag is how many unapplied batches may queue per core.
+	profLag = 4
+)
+
+// traceBatch is one prefetched span of a core's access stream.
+type traceBatch struct {
+	core int
+	ev   []trace.Event
+}
+
+// profBatch is one span of a core's profiler accesses awaiting application,
+// or — when ack is non-nil — a flush token: the applier acknowledges it
+// after everything queued before it has been applied.
+type profBatch struct {
+	core  int
+	addrs []trace.Addr
+	ack   chan<- struct{}
+}
+
+// pipeline is the run-scoped parallel executor. Lanes are goroutine groups:
+// group g owns cores {c : c mod groups == g} for both trace prefetch and
+// profiler application. Prefetchers only send and appliers only receive, so
+// the topology is acyclic and cannot deadlock. All fields outside the
+// channels are owned by the commit thread.
+type pipeline struct {
+	groups int
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// Prefetch side: per-group batch channel (prefetcher -> commit) and
+	// free-list (commit -> prefetcher, non-blocking recycle).
+	traceCh   []chan traceBatch
+	traceFree []chan []trace.Event
+
+	// Apply side: per-group batch channel (commit -> applier) and free-list
+	// (applier -> commit).
+	profCh   []chan profBatch
+	profFree []chan []trace.Addr
+	acks     chan struct{}
+
+	// Commit-side demux state: the batch each core is consuming, batches
+	// received while demultiplexing another core's, and the profiler batch
+	// being filled.
+	cur     [nuca.NumCores][]trace.Event
+	pos     [nuca.NumCores]int
+	backlog [nuca.NumCores][][]trace.Event
+	pb      [nuca.NumCores][]trace.Addr
+}
+
+func (p *pipeline) groupOf(c int) int { return c % p.groups }
+
+// coresOf lists the cores group g owns, in core order.
+func (p *pipeline) coresOf(g int) []int {
+	var cs []int
+	for c := g; c < nuca.NumCores; c += p.groups {
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// startPipeline builds and launches the executor for one Run. Any trace
+// events spilled by a previous Run's shutdown are handed back first, so the
+// generators' already-advanced state is never skipped.
+func (s *System) startPipeline() {
+	groups := s.simWorkers - 1
+	if groups > nuca.NumCores {
+		groups = nuca.NumCores
+	}
+	p := &pipeline{
+		groups:    groups,
+		stop:      make(chan struct{}),
+		traceCh:   make([]chan traceBatch, groups),
+		traceFree: make([]chan []trace.Event, groups),
+		profCh:    make([]chan profBatch, groups),
+		profFree:  make([]chan []trace.Addr, groups),
+		acks:      make(chan struct{}, groups),
+	}
+	for c := range s.spill {
+		if sp := s.spill[c]; len(sp) > s.spillPos[c] {
+			p.cur[c] = sp[s.spillPos[c]:]
+		}
+		s.spill[c] = nil
+		s.spillPos[c] = 0
+	}
+	for g := 0; g < groups; g++ {
+		n := len(p.coresOf(g))
+		p.traceCh[g] = make(chan traceBatch, traceLead*n)
+		p.traceFree[g] = make(chan []trace.Event, traceLead*n+1)
+		p.profCh[g] = make(chan profBatch, profLag*n)
+		p.profFree[g] = make(chan []trace.Addr, profLag*n+1)
+		p.wg.Add(2)
+		go p.prefetch(s, g)
+		go p.apply(s, g)
+	}
+	s.par = p
+}
+
+// prefetch generates trace batches for group g's cores round-robin until
+// stopped. On stop the in-flight batch is still delivered — its events were
+// already drawn from the generator — and the channel is closed so the
+// commit thread's drain terminates.
+func (p *pipeline) prefetch(s *System, g int) {
+	defer p.wg.Done()
+	defer close(p.traceCh[g])
+	cores := p.coresOf(g)
+	for {
+		for _, c := range cores {
+			var batch []trace.Event
+			select {
+			case b := <-p.traceFree[g]:
+				batch = b[:0]
+			default:
+				batch = make([]trace.Event, 0, traceBatchLen)
+			}
+			stream := s.streams[c]
+			for len(batch) < traceBatchLen {
+				batch = append(batch, stream.Next())
+			}
+			select {
+			case p.traceCh[g] <- traceBatch{core: c, ev: batch}:
+			case <-p.stop:
+				// The stop drain on the commit side keeps receiving until
+				// the close below, so this send always completes.
+				p.traceCh[g] <- traceBatch{core: c, ev: batch}
+				return
+			}
+		}
+	}
+}
+
+// apply replays profiler accesses for group g's cores and acknowledges
+// flush tokens. It exits when the commit thread closes the channel.
+func (p *pipeline) apply(s *System, g int) {
+	defer p.wg.Done()
+	for pb := range p.profCh[g] {
+		if pb.ack != nil {
+			pb.ack <- struct{}{}
+			continue
+		}
+		prof := s.profs[pb.core]
+		for _, a := range pb.addrs {
+			prof.Access(a)
+		}
+		select {
+		case p.profFree[g] <- pb.addrs[:0]:
+		default:
+		}
+	}
+}
+
+// next returns core c's next trace event, demultiplexing group batches into
+// per-core order as they arrive.
+func (p *pipeline) next(c int) trace.Event {
+	if p.pos[c] >= len(p.cur[c]) {
+		p.refill(c)
+	}
+	ev := p.cur[c][p.pos[c]]
+	p.pos[c]++
+	return ev
+}
+
+// refill installs core c's next batch, recycling the spent one and stashing
+// other cores' batches met on the way.
+func (p *pipeline) refill(c int) {
+	g := p.groupOf(c)
+	if buf := p.cur[c]; buf != nil {
+		select {
+		case p.traceFree[g] <- buf[:0]:
+		default:
+		}
+		p.cur[c] = nil
+	}
+	if len(p.backlog[c]) > 0 {
+		p.cur[c] = p.backlog[c][0]
+		copy(p.backlog[c], p.backlog[c][1:])
+		p.backlog[c] = p.backlog[c][:len(p.backlog[c])-1]
+		p.pos[c] = 0
+		return
+	}
+	for {
+		tb, ok := <-p.traceCh[g]
+		if !ok {
+			panic("sim: trace channel closed while pipeline running")
+		}
+		if tb.core == c {
+			p.cur[c] = tb.ev
+			p.pos[c] = 0
+			return
+		}
+		p.backlog[tb.core] = append(p.backlog[tb.core], tb.ev)
+	}
+}
+
+// profAccess queues one profiler access for asynchronous application.
+func (p *pipeline) profAccess(c int, addr trace.Addr) {
+	buf := p.pb[c]
+	if buf == nil {
+		buf = p.getProfBuf(p.groupOf(c))
+	}
+	buf = append(buf, addr)
+	if len(buf) >= profBatchLen {
+		p.profCh[p.groupOf(c)] <- profBatch{core: c, addrs: buf}
+		buf = nil
+	}
+	p.pb[c] = buf
+}
+
+func (p *pipeline) getProfBuf(g int) []trace.Addr {
+	select {
+	case b := <-p.profFree[g]:
+		return b
+	default:
+		return make([]trace.Addr, 0, profBatchLen)
+	}
+}
+
+// profBarrier flushes every queued profiler access and waits until the
+// appliers have applied them, establishing the happens-before edge the
+// commit thread needs before reading profiler state (repartition's curve
+// extraction and decay).
+func (p *pipeline) profBarrier() {
+	for c := 0; c < nuca.NumCores; c++ {
+		if len(p.pb[c]) > 0 {
+			p.profCh[p.groupOf(c)] <- profBatch{core: c, addrs: p.pb[c]}
+			p.pb[c] = nil
+		}
+	}
+	for g := 0; g < p.groups; g++ {
+		p.profCh[g] <- profBatch{ack: p.acks}
+	}
+	for g := 0; g < p.groups; g++ {
+		<-p.acks
+	}
+}
+
+// profBarrier is the System-level entry: a no-op in sequential mode.
+func (s *System) profBarrier() {
+	if s.par != nil {
+		s.par.profBarrier()
+	}
+}
+
+// stopPipeline winds the executor down: prefetchers stop and hand over
+// their in-flight batches, pending profiler accesses are applied, and every
+// undelivered trace event is spilled into System-owned buffers so the next
+// Run — parallel or sequential — resumes the streams exactly where the
+// generators left them.
+func (s *System) stopPipeline() {
+	p := s.par
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	for g := 0; g < p.groups; g++ {
+		for tb := range p.traceCh[g] {
+			p.backlog[tb.core] = append(p.backlog[tb.core], tb.ev)
+		}
+	}
+	for c := 0; c < nuca.NumCores; c++ {
+		if len(p.pb[c]) > 0 {
+			p.profCh[p.groupOf(c)] <- profBatch{core: c, addrs: p.pb[c]}
+			p.pb[c] = nil
+		}
+	}
+	for g := 0; g < p.groups; g++ {
+		close(p.profCh[g])
+	}
+	p.wg.Wait()
+	// Spill what the commit thread never consumed, in stream order: the
+	// partially consumed current batch first, then the backlog FIFO.
+	for c := 0; c < nuca.NumCores; c++ {
+		var spill []trace.Event
+		if p.pos[c] < len(p.cur[c]) {
+			spill = append(spill, p.cur[c][p.pos[c]:]...)
+		}
+		for _, b := range p.backlog[c] {
+			spill = append(spill, b...)
+		}
+		s.spill[c] = spill
+		s.spillPos[c] = 0
+	}
+	s.par = nil
+}
+
+// nextEvent returns core c's next access: from the pipeline when one is
+// running, otherwise from any events a stopped pipeline spilled, otherwise
+// straight from the stream.
+func (s *System) nextEvent(c int) trace.Event {
+	if s.par != nil {
+		return s.par.next(c)
+	}
+	if sp := s.spill[c]; len(sp) > s.spillPos[c] {
+		ev := sp[s.spillPos[c]]
+		s.spillPos[c]++
+		if s.spillPos[c] == len(sp) {
+			s.spill[c], s.spillPos[c] = nil, 0
+		}
+		return ev
+	}
+	return s.streams[c].Next()
+}
+
+// profAccess records one L2 access with core c's MSA profiler: directly in
+// sequential mode, asynchronously through the pipeline otherwise.
+func (s *System) profAccess(c int, addr trace.Addr) {
+	if s.par != nil {
+		s.par.profAccess(c, addr)
+		return
+	}
+	s.profs[c].Access(addr)
+}

@@ -16,6 +16,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"bankaware/internal/cache"
 	"bankaware/internal/coherence"
@@ -193,6 +194,16 @@ type System struct {
 	survBanks  []int
 	lastCurves []core.MissCurve
 
+	// Parallel-execution state (see parallel.go): the configured lane
+	// bound, the run-scoped pipeline while a parallel Run is active, and
+	// the per-core trace events a stopped pipeline prefetched but the
+	// commit thread never consumed — the generators have already advanced
+	// past them, so the next Run must drain them first.
+	simWorkers int
+	par        *pipeline
+	spill      [nuca.NumCores][]trace.Event
+	spillPos   [nuca.NumCores]int
+
 	nextEpoch int64
 	nextCheck int64
 	epochs    int
@@ -331,6 +342,9 @@ func (s *System) DRAMStats() mem.Stats { return s.dram.Stats() }
 // closing epoch window and records the allocation diff before the new
 // masks take effect.
 func (s *System) repartition(now int64) error {
+	// Parallel runs: settle every queued profiler access before the curves
+	// (and the decay below) read the profilers.
+	s.profBarrier()
 	epoch := s.epochs
 	snap := s.cfg.Faults.At(epoch)
 	// A newly failed bank loses its contents; the inclusive hierarchy
@@ -502,7 +516,7 @@ func dropLatency(bank int) int64 {
 // step advances core c by one memory access. Returns the core's new local
 // time.
 func (s *System) step(c int) int64 {
-	ev := s.streams[c].Next()
+	ev := s.nextEvent(c)
 	cpuCore := s.cores[c]
 	issueAt := cpuCore.BeginAccess(ev.Gap)
 	addr := ev.Access.Addr
@@ -520,7 +534,7 @@ func (s *System) step(c int) int64 {
 			// Shared copies require an upgrade; sole copies silently E->M.
 			if s.dir.StateOf(addr, c) == coherence.Shared {
 				resp := s.dir.OnUpgrade(c, addr)
-				s.applyInvalidations(c, addr)
+				s.applyInvalidations(addr, resp.Invalidated)
 				if resp.Invalidations > 0 {
 					cpuCore.RecordFill(issueAt + int64(resp.Invalidations)*s.cfg.InvalidationCycles)
 				}
@@ -545,10 +559,10 @@ func (s *System) step(c int) int64 {
 	} else {
 		resp = s.dir.OnReadMiss(c, addr)
 	}
-	s.applyInvalidations(c, addr)
+	s.applyInvalidations(addr, resp.Invalidated)
 
 	// The profilers watch the L2 access stream (Section III.A).
-	s.profs[c].Access(addr)
+	s.profAccess(c, addr)
 
 	// Invalidations serialise on the critical path; a cache-to-cache
 	// transfer still traverses the same network/bank path in this model
@@ -560,17 +574,16 @@ func (s *System) step(c int) int64 {
 	return cpuCore.Now()
 }
 
-// applyInvalidations removes addr from every other core's L1 when the
-// directory no longer lists them (after upgrade/write-miss processing the
-// directory holds only the writer; physically clear the peers).
-func (s *System) applyInvalidations(c int, addr trace.Addr) {
-	for p := 0; p < nuca.NumCores; p++ {
-		if p == c {
-			continue
-		}
-		if s.dir.StateOf(addr, p) == coherence.Invalid {
-			s.l1s[p].Invalidate(addr)
-		}
+// applyInvalidations physically clears addr from the L1s of exactly the
+// peers the directory reported invalidated (after upgrade/write-miss
+// processing the directory holds only the writer). L1 residency is a subset
+// of the directory listing — fills always register, evictions and
+// back-invalidations always unlist — so touching only the listed peers is
+// behaviour-identical to scanning every core, and the common case (read
+// misses, private data: an empty mask) touches nothing at all.
+func (s *System) applyInvalidations(addr trace.Addr, peers cache.OwnerMask) {
+	for m := uint(peers); m != 0; m &= m - 1 {
+		s.l1s[bits.TrailingZeros(m)].Invalidate(addr)
 	}
 }
 
@@ -685,6 +698,13 @@ func (s *System) RunContext(ctx context.Context, instructions uint64) error {
 	steps := 0
 	for c := range s.finished {
 		s.finished[c] = s.cores[c].Instructions() >= instructions
+	}
+	if s.simWorkers > 1 {
+		s.startPipeline()
+		// The shutdown settles all queued profiler work and spills
+		// prefetched trace events, so post-Run state — and any later Run at
+		// any worker setting — matches the sequential execution exactly.
+		defer s.stopPipeline()
 	}
 	for {
 		if steps++; steps >= pollEvery {
