@@ -27,6 +27,7 @@ import (
 
 	"bankaware/internal/core"
 	"bankaware/internal/experiments"
+	"bankaware/internal/fastsim"
 	"bankaware/internal/faults"
 	"bankaware/internal/metrics"
 	"bankaware/internal/runner"
@@ -55,8 +56,13 @@ func main() {
 		report    = flag.String("report", "", "write the machine-readable JSON run report to this file")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
 		faultPath = flag.String("faults", "", "inject this JSON fault plan at repartition boundaries")
+		fidelStr  = flag.String("fidelity", "", "execution engine: detailed (default) or fast (interval model; see EXPERIMENTS.md for its accuracy envelopes)")
 	)
 	flag.Parse()
+	fidelity, err := experiments.ParseFidelity(*fidelStr)
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -64,7 +70,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := experiments.Options{Workers: *parallel, Observe: *report != "", SimWorkers: *simWork}
+	opt := experiments.Options{Workers: *parallel, Observe: *report != "", SimWorkers: *simWork, Fidelity: fidelity}
 	var plan *faults.Plan
 	if *faultPath != "" {
 		p, err := faults.Load(*faultPath)
@@ -111,11 +117,18 @@ func main() {
 		if plan != nil {
 			cfg.Faults = plan
 		}
-		sys, err := sim.New(cfg, p, specs)
+		// The CLI flag overrides the config file's fidelity when set.
+		runFid := fidelity
+		if *fidelStr == "" {
+			if runFid, err = experiments.ParseFidelity(rc.Fidelity); err != nil {
+				fatal(err)
+			}
+		}
+		sys, err := newSystem(runFid, cfg, p, specs)
 		if err != nil {
 			fatal(err)
 		}
-		runSystem(ctx, sys, budget, *report, debugReg, rc.Workloads)
+		runSystem(ctx, sys, budget, *report, debugReg, rc.Workloads, runFid)
 		fmt.Print(sys.Result(rc.Workloads).String())
 		if *showAlloc {
 			fmt.Println("\nfinal allocation:")
@@ -199,11 +212,11 @@ func main() {
 	if plan != nil {
 		simCfg.Faults = plan
 	}
-	sys, err := sim.New(simCfg, p, specs)
+	sys, err := newSystem(fidelity, simCfg, p, specs)
 	if err != nil {
 		fatal(err)
 	}
-	runSystem(ctx, sys, budget, *report, debugReg, names)
+	runSystem(ctx, sys, budget, *report, debugReg, names, fidelity)
 	fmt.Print(sys.Result(names).String())
 	if *showAlloc {
 		fmt.Println("\nfinal allocation:")
@@ -211,11 +224,31 @@ func main() {
 	}
 }
 
+// system is the engine surface the CLI drives — sim.System and
+// fastsim.System both satisfy it.
+type system interface {
+	EnableMetrics(rec *metrics.Recorder) *metrics.Recorder
+	RunContext(ctx context.Context, instructions uint64) error
+	ResetStats()
+	Policy() core.Policy
+	Result(workloads []string) sim.Result
+	RunReport(name string, workloads []string) metrics.RunReport
+	Allocation() *core.Allocation
+}
+
+// newSystem constructs the engine for the chosen fidelity.
+func newSystem(f experiments.Fidelity, cfg sim.Config, p core.Policy, specs []trace.Spec) (system, error) {
+	if f == experiments.FidelityFast {
+		return fastsim.New(cfg, p, specs)
+	}
+	return sim.New(cfg, p, specs)
+}
+
 // runSystem executes one simulation under the standard protocol (warm-up,
 // stats reset, measured phase), attaching the observation layer when a
 // report is requested or a debug registry is being served, and writes the
 // single-run report if asked for.
-func runSystem(ctx context.Context, sys *sim.System, budget uint64, reportPath string, debugReg *metrics.Registry, workloads []string) {
+func runSystem(ctx context.Context, sys system, budget uint64, reportPath string, debugReg *metrics.Registry, workloads []string, fidelity experiments.Fidelity) {
 	observe := reportPath != "" || debugReg != nil
 	if observe {
 		var rec *metrics.Recorder
@@ -234,6 +267,9 @@ func runSystem(ctx context.Context, sys *sim.System, budget uint64, reportPath s
 	if reportPath != "" {
 		rep := metrics.NewReport("simulation")
 		rep.Label = sys.Policy().Name()
+		if fidelity == experiments.FidelityFast {
+			rep.Fidelity = string(experiments.FidelityFast)
+		}
 		rep.Runs = append(rep.Runs, sys.RunReport("", workloads))
 		if err := rep.WriteFile(reportPath); err != nil {
 			fatal(err)

@@ -48,6 +48,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -63,6 +64,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"bankaware/internal/ledger"
@@ -275,6 +277,7 @@ func submit(args []string) error {
 		spec    = fs.String("spec", "", "job spec JSON file (default: read stdin)")
 		wait    = fs.Bool("wait", false, "watch the job until it reaches a terminal state")
 		idemKey = fs.String("idempotency-key", "", "dedupe on this key instead of the spec's content hash")
+		fidel   = fs.String("fidelity", "", "execution engine override: detailed|fast (stamped into the spec)")
 	)
 	fs.Parse(args)
 
@@ -286,6 +289,25 @@ func submit(args []string) error {
 		}
 		defer f.Close()
 		in = f
+	}
+	if *fidel != "" {
+		// Rewrite the spec with the requested fidelity before submitting,
+		// so the flag and the JSON field are the same mechanism.
+		body, err := io.ReadAll(in)
+		if err != nil {
+			return err
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(body, &raw); err != nil {
+			return fmt.Errorf("parsing job spec: %w", err)
+		}
+		fj, _ := json.Marshal(*fidel)
+		raw["fidelity"] = fj
+		body, err = json.Marshal(raw)
+		if err != nil {
+			return err
+		}
+		in = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest("POST", base(*addr)+"/v1/jobs", in)
 	if err != nil {
@@ -601,6 +623,7 @@ func list(args []string) error {
 		state = fs.String("state", "", "only jobs in this state (queued|running|done|failed|canceled)")
 		limit = fs.Int("limit", 0, "page size (enables the paged response shape)")
 		page  = fs.String("page", "", "opaque page token from a previous response's nextPage")
+		table = fs.Bool("table", false, "render a column view (ID, KIND, FIDELITY, STATE, SUBMITTED) instead of raw JSON")
 	)
 	fs.Parse(args)
 	q := url.Values{}
@@ -617,7 +640,54 @@ func list(args []string) error {
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	return printBody(u)
+	if !*table {
+		return printBody(u)
+	}
+	return printJobTable(u)
+}
+
+// printJobTable renders the job listing as columns. Both response shapes
+// (bare array, paged object) are accepted.
+func printJobTable(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var recs []service.JobRecord
+	if err := json.Unmarshal(body, &recs); err != nil {
+		var paged struct {
+			Jobs     []service.JobRecord `json:"jobs"`
+			NextPage string              `json:"nextPage"`
+		}
+		if err2 := json.Unmarshal(body, &paged); err2 != nil {
+			return fmt.Errorf("decoding job listing: %w", err)
+		}
+		recs = paged.Jobs
+		defer func() {
+			if paged.NextPage != "" {
+				fmt.Fprintf(os.Stderr, "next page: %s\n", paged.NextPage)
+			}
+		}()
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tKIND\tFIDELITY\tSTATE\tSUBMITTED")
+	for _, r := range recs {
+		fid := r.Spec.Fidelity
+		if fid == "" {
+			fid = "detailed"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			r.ID, r.Spec.Kind, fid, r.State, r.SubmittedAt.Format(time.RFC3339))
+	}
+	return tw.Flush()
 }
 
 func diff(args []string) error {

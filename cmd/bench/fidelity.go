@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+
+	"bankaware/internal/benchmarks"
+	"bankaware/internal/fastsim"
+)
+
+// runFidelity is the accuracy gate behind `bench -fidelity`: the full
+// 26-workload catalog runs homogeneously under both engines, every CPI and
+// miss-ratio delta is graded against the committed envelopes
+// (internal/fastsim/testdata/fidelity-envelopes.json), the Figs. 8/9 grid
+// is compared at the campaign level, and the steady-state speedup is
+// measured. Exit 1 on any envelope violation or a speedup below the 20x
+// the fast tier promises.
+func runFidelity() error {
+	ctx := context.Background()
+	env, err := fastsim.Envelopes()
+	if err != nil {
+		return err
+	}
+
+	deltas, err := benchmarks.FidelitySweep(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %10s %9s %9s %9s %9s  %s\n",
+		"workload", "det CPI", "fast CPI", "cpiErr", "bound", "mrErr", "bound", "verdict")
+	violations := 0
+	var maxCPI, sumCPI, maxMR, sumMR float64
+	for _, d := range deltas {
+		verdict := "ok"
+		if !d.OK {
+			verdict = "FAIL"
+			violations++
+		}
+		fmt.Printf("%-10s %10.4f %10.4f %+8.2f%% %8.2f%% %+9.4f %9.4f  %s\n",
+			d.Workload, d.DetCPI, d.FastCPI, 100*d.CPIErr, 100*d.CPIBound, d.MRErr, d.MRBound, verdict)
+		maxCPI = math.Max(maxCPI, math.Abs(d.CPIErr))
+		sumCPI += math.Abs(d.CPIErr)
+		maxMR = math.Max(maxMR, math.Abs(d.MRErr))
+		sumMR += math.Abs(d.MRErr)
+	}
+	n := float64(len(deltas))
+	fmt.Printf("catalog: CPI err max %.2f%% mean %.2f%% | miss-ratio err max %.4f mean %.4f\n",
+		100*maxCPI, 100*sumCPI/n, maxMR, sumMR/n)
+
+	relMiss, relCPI, err := benchmarks.FidelityCampaignDeltas(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign (Figs. 8/9 grid): relMiss delta %.4f (envelope %.4f), relCPI delta %.4f (envelope %.4f)\n",
+		relMiss, env.Campaign.RelMiss, relCPI, env.Campaign.RelCPI)
+	if relMiss > env.Campaign.RelMiss || relCPI > env.Campaign.RelCPI {
+		violations++
+	}
+
+	detailed, fast, err := benchmarks.FidelitySpeedup(ctx, 10_000_000)
+	if err != nil {
+		return err
+	}
+	ratio := float64(detailed) / float64(fast)
+	fmt.Printf("speedup at 10M instructions/core: detailed %v, fast %v — %.1fx\n", detailed, fast, ratio)
+	if ratio < 20 {
+		fmt.Fprintf(os.Stderr, "REGRESSION: fast path speedup %.1fx below the 20x floor\n", ratio)
+		violations++
+	}
+
+	if violations > 0 {
+		return fmt.Errorf("fidelity gate failed: %d violation(s)", violations)
+	}
+	fmt.Println("fidelity gate passed: all deltas within committed envelopes")
+	return nil
+}

@@ -34,12 +34,19 @@ import (
 // Schema identifies the JSON layout of a trajectory file.
 const Schema = "bankaware.bench/v1"
 
-// File is the serialised form of one harness run.
+// File is the serialised form of one harness run. The host-topology
+// fields (NumCPU, GOMAXPROCS, MaxLanes) make the runner's parallelism
+// machine-readable: numbers from a single-CPU container (the BENCH_9
+// caveat) or from different lane capacities are not comparable, and a
+// gate can now detect that instead of guessing.
 type File struct {
 	Schema     string   `json:"schema"`
 	GoVersion  string   `json:"go_version"`
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	MaxLanes   int      `json:"max_lanes"`
 	Count      int      `json:"count"`
 	Benchmarks []Result `json:"benchmarks"`
 }
@@ -84,9 +91,16 @@ func main() {
 		threshold = flag.Float64("threshold", 10, "max ns/op regression percent before the gate fails")
 		benchtime = flag.String("benchtime", "", "per-sample benchtime (passed to the testing package, e.g. 200ms or 100x)")
 		runExpr   = flag.String("run", "", "only run benchmarks matching this regexp")
+		fidelity  = flag.Bool("fidelity", false, "run the differential fidelity harness instead of the micro-benchmarks: sweep the full catalog under both engines, gate the deltas against the committed envelopes, and report the measured speedup")
 	)
 	testing.Init()
 	flag.Parse()
+	if *fidelity {
+		if err := runFidelity(); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
 			fatalf("bad -benchtime: %v", err)
@@ -103,13 +117,33 @@ func main() {
 		*count = 1
 	}
 
-	var text []string
+	// MaxLanes is the effective lane capacity of the deepest parallel
+	// bench in the suite: SystemStepParallel8 asks for 8 lanes, but a
+	// smaller GOMAXPROCS means they time-share and its numbers measure
+	// scheduling, not speedup.
+	maxLanes := runtime.GOMAXPROCS(0)
+	if maxLanes > 8 {
+		maxLanes = 8
+	}
+	// Benchstat file-level configuration lines: benchstat groups files by
+	// these keys, so runs from hosts with different parallelism are never
+	// silently averaged together.
+	text := []string{
+		fmt.Sprintf("goos: %s", runtime.GOOS),
+		fmt.Sprintf("goarch: %s", runtime.GOARCH),
+		fmt.Sprintf("num-cpu: %d", runtime.NumCPU()),
+		fmt.Sprintf("gomaxprocs: %d", runtime.GOMAXPROCS(0)),
+		fmt.Sprintf("max-lanes: %d", maxLanes),
+	}
 	file := File{
-		Schema:    Schema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Count:     *count,
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MaxLanes:   maxLanes,
+		Count:      *count,
 	}
 	for _, b := range suite {
 		if filter != nil && !filter.MatchString(b.name) {

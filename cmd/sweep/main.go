@@ -39,6 +39,7 @@ func main() {
 		report      = flag.String("report", "", "write the machine-readable JSON sweep report to this file")
 		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address while running")
 		faultPath   = flag.String("faults", "", "inject this JSON fault plan into the simulation-backed sweeps")
+		fidelStr    = flag.String("fidelity", "", "execution engine for simulation-backed sweeps: detailed (default) or fast (interval model; rejected by ablations whose semantics it cannot reproduce)")
 	)
 	flag.Parse()
 	if !*aggregation && *ablation == "" {
@@ -51,7 +52,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := experiments.Options{Workers: *parallel, SimWorkers: *simWork}
+	fidelity, err := experiments.ParseFidelity(*fidelStr)
+	if err != nil {
+		fatal(err)
+	}
+	opt := experiments.Options{Workers: *parallel, SimWorkers: *simWork, Fidelity: fidelity}
 	if *faultPath != "" {
 		plan, err := faults.Load(*faultPath)
 		if err != nil {

@@ -61,6 +61,13 @@ type Options struct {
 	// within one — the two compose, so keep Workers*SimWorkers near the
 	// machine's core count.
 	SimWorkers int
+	// Fidelity selects the execution engine: FidelityDetailed (and the
+	// zero value) runs the cycle-accurate simulator, FidelityFast the
+	// interval-model fast path. Unlike the knobs above this *does* affect
+	// what gets computed — fast results approximate detailed ones within
+	// the committed accuracy envelopes and the two fidelities are distinct
+	// experiment specs (separate cache entries, distinct spec hashes).
+	Fidelity Fidelity
 }
 
 // runnerConfig builds the engine configuration for one fan-out.
@@ -158,6 +165,10 @@ type SetResult struct {
 	// Reports holds one run report per policy (None, Equal, Bank order)
 	// when the campaign ran with Options.Observe.
 	Reports []metrics.RunReport
+
+	// Fidelity is the engine the set ran under; empty means detailed
+	// (kept empty there so pre-fidelity result bytes are unchanged).
+	Fidelity string
 }
 
 // setPolicyPrototypes are the three policies every Table III set is
@@ -197,8 +208,8 @@ type PolicyRun struct {
 // also attaches the metrics layer and exports the run report covering the
 // measurement window; sample, when non-nil, taps the measured phase's epoch
 // samples live.
-func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, simWorkers int, observe bool, sample func(metrics.EpochSample)) (PolicyRun, error) {
-	sys, err := sim.New(cfg, core.ClonePolicy(proto), specs)
+func runPolicy(ctx context.Context, cfg sim.Config, specs []trace.Spec, proto core.Policy, workloads []string, instructions uint64, fidelity Fidelity, simWorkers int, observe bool, sample func(metrics.EpochSample)) (PolicyRun, error) {
+	sys, err := newEngine(fidelity, cfg, core.ClonePolicy(proto), specs)
 	if err != nil {
 		return PolicyRun{}, err
 	}
@@ -264,7 +275,7 @@ func RunSetPolicyContext(ctx context.Context, cfg sim.Config, workloads []string
 	}
 	protos := setPolicyPrototypes()
 	observe := opt.Observe || opt.Sample != nil
-	return runPolicy(ctx, cfg, specs, protos[policy], workloads, instructions, opt.SimWorkers, observe,
+	return runPolicy(ctx, cfg, specs, protos[policy], workloads, instructions, opt.Fidelity, opt.SimWorkers, observe,
 		opt.sampler(protos[policy].Name()))
 }
 
@@ -297,7 +308,12 @@ func RunSetContext(ctx context.Context, cfg sim.Config, set int, workloads []str
 	if err != nil {
 		return nil, err
 	}
-	return AssembleSetResult(set, workloads, runs, opt.Observe)
+	res, err := AssembleSetResult(set, workloads, runs, opt.Observe)
+	if err != nil {
+		return nil, err
+	}
+	res.Fidelity = fidelityTag(opt.Fidelity)
+	return res, nil
 }
 
 // Fig8Fig9 runs all eight Table III sets and returns the per-set results
@@ -307,6 +323,8 @@ type Fig8Fig9Result struct {
 	// GMRelMiss* and GMRelCPI* are the Fig. 8 / Fig. 9 GM bars.
 	GMRelMissEqual, GMRelMissBank float64
 	GMRelCPIEqual, GMRelCPIBank   float64
+	// Fidelity is the engine the campaign ran under; empty means detailed.
+	Fidelity string
 }
 
 // HasReports reports whether the campaign ran under Options.Observe (every
@@ -345,7 +363,7 @@ func RunCampaignUnitContext(ctx context.Context, scale Scale, instructions uint6
 	if err != nil {
 		return PolicyRun{}, err
 	}
-	r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, opt.SimWorkers, observe,
+	r, err := runPolicy(ctx, cfg, specs, protos[pol], TableIIISets[set][:], instructions, opt.Fidelity, opt.SimWorkers, observe,
 		opt.sampler(fmt.Sprintf("set%d/%s", set+1, protos[pol].Name())))
 	if err != nil {
 		return PolicyRun{}, fmt.Errorf("set %d (%s): %w", set+1, protos[pol].Name(), err)
@@ -398,7 +416,12 @@ func RunFig8Fig9Context(ctx context.Context, scale Scale, instructions uint64, o
 	if err != nil {
 		return nil, err
 	}
-	return AssembleFig8Fig9(runs, opt.Observe)
+	res, err := AssembleFig8Fig9(runs, opt.Observe)
+	if err != nil {
+		return nil, err
+	}
+	res.Fidelity = fidelityTag(opt.Fidelity)
+	return res, nil
 }
 
 // String renders the Fig. 8 + Fig. 9 rows.

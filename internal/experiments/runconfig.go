@@ -27,7 +27,8 @@ import (
 //	  "adaptiveEpochs": true,
 //	  "memChannels": 2,
 //	  "l2Replacement": "plru",
-//	  "seed": 42
+//	  "seed": 42,
+//	  "fidelity": "fast"
 //	}
 type RunConfig struct {
 	Workloads      []string `json:"workloads"`
@@ -39,6 +40,9 @@ type RunConfig struct {
 	MemChannels    int      `json:"memChannels"`
 	L2Replacement  string   `json:"l2Replacement"`
 	Seed           uint64   `json:"seed"`
+	// Fidelity selects the execution engine: "detailed" (or empty) for the
+	// cycle-accurate simulator, "fast" for the interval-model fast path.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // LoadRunConfig parses and validates a run-config file.
@@ -81,6 +85,9 @@ func (rc *RunConfig) Validate() error {
 	case "", "lru", "plru":
 	default:
 		return fmt.Errorf("unknown l2Replacement %q (want lru|plru)", rc.L2Replacement)
+	}
+	if _, err := ParseFidelity(rc.Fidelity); err != nil {
+		return err
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 func (r *SetResult) Report() *metrics.Report {
 	rep := metrics.NewReport("set")
 	rep.Label = fmt.Sprintf("table3-set%d", r.Set)
+	rep.Fidelity = r.Fidelity
 	rep.AddSummary("rel_miss_equal", r.RelMissEqual)
 	rep.AddSummary("rel_miss_bank", r.RelMissBank)
 	rep.AddSummary("rel_cpi_equal", r.RelCPIEqual)
@@ -30,6 +31,7 @@ func (r *SetResult) Report() *metrics.Report {
 func (r *Fig8Fig9Result) Report() *metrics.Report {
 	rep := metrics.NewReport("experiments")
 	rep.Label = fmt.Sprintf("fig8fig9-%dsets", len(r.Sets))
+	rep.Fidelity = r.Fidelity
 	rep.AddSummary("gm_rel_miss_equal", r.GMRelMissEqual)
 	rep.AddSummary("gm_rel_miss_bank", r.GMRelMissBank)
 	rep.AddSummary("gm_rel_cpi_equal", r.GMRelCPIEqual)

@@ -1,0 +1,903 @@
+package fastsim
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"bankaware/internal/cache"
+	"bankaware/internal/core"
+	"bankaware/internal/metrics"
+	"bankaware/internal/nuca"
+	"bankaware/internal/sim"
+	"bankaware/internal/trace"
+)
+
+// System is the fast-path counterpart of sim.System: same construction
+// inputs, same run protocol (cumulative instruction targets, stats reset,
+// metrics recording), same Result/RunReport shapes — but cores advance in
+// closed form between epoch events instead of event by event. See the
+// package comment for the model.
+type System struct {
+	cfg    sim.Config
+	policy core.Policy
+
+	profs []*profile
+	// actN[c][i] is the activation threshold of depth atom i of core c: the
+	// L2-access count at which the stream has touched enough distinct blocks
+	// for that reuse depth to exist at all. Before it, the generator turns
+	// such draws into first touches — the cold-start transient that makes
+	// warm-up CPIs exceed steady-state CPIs and (through the resume snap)
+	// spreads measured CPIs across cores.
+	actN [nuca.NumCores][]float64
+	// curveSH[c][w][i] = sum over atoms j < i of mass_j * steady hit
+	// probability at w ways in the profiler view — prefix sums for the
+	// transient-corrected policy curves.
+	curveSH [nuca.NumCores][][]float64
+	shapes  [nuca.NumCores][]float64 // steady missProjected at the profiler view
+
+	streams   []coreStream
+	missFlags [nuca.NumCores][]bool
+	capSolves map[solveKey]*capSolve
+	replays   map[uint64]*windowResult
+
+	alloc   *core.Allocation
+	allocFP uint64
+	rings   [nuca.NumCores][]int
+
+	// Continuous per-core trajectories. clock is the core's local cycle
+	// time (cores cluster after the resume snap; a finished core freezes),
+	// instr the cumulative retired instructions (exactly integral at run
+	// ends: finishes set the target exactly). The l1Acc/l2Acc/l2Miss
+	// accumulators are expectations, rounded only at reporting time.
+	clock, instr             [nuca.NumCores]float64
+	l1Acc, l2Acc, l2Miss     [nuca.NumCores]float64
+	profA                    [nuca.NumCores]float64
+	epochMissCyc, epochMissN [nuca.NumCores]float64
+	lastRepartN              [nuca.NumCores]float64
+	finished                 [nuca.NumCores]bool
+
+	nextEpoch float64
+	epochs    int
+
+	// Measurement-window baselines (rounded snapshots from ResetStats).
+	baseInstr, baseL1, baseL2, baseMiss [nuca.NumCores]uint64
+	baseCycles                          [nuca.NumCores]int64
+
+	// Observation layer, mirroring sim.System's.
+	rec       *metrics.Recorder
+	winInstr  [nuca.NumCores]uint64
+	winCycles [nuca.NumCores]int64
+	winL2     [nuca.NumCores]uint64
+	winMiss   [nuca.NumCores]uint64
+
+	curves   []core.MissCurve
+	curveBuf [nuca.NumCores][]float64
+	weights  [nuca.NumCores]float64
+}
+
+// solveKey identifies one steady capacity state: the installed allocation
+// and (because shared-mode contention couples cores) the active set.
+type solveKey struct {
+	allocFP uint64
+	active  uint8
+}
+
+// capSolve is one solved capacity state: steady-state miss ratios plus the
+// cold-start transient schedule. The transient excess of core c,
+//
+//	extra(n) = sum over atoms with actN > n of mass * steadyHit,
+//
+// is the reuse that will eventually hit but is still a first touch n
+// accesses into the stream. preH/preHN are prefix sums over the ascending
+// activation thresholds for O(log) evaluation of extra(n) and of its exact
+// integral over a segment.
+type capSolve struct {
+	m2          [nuca.NumCores]float64
+	actN        [nuca.NumCores][]float64
+	preH, preHN [nuca.NumCores][]float64
+	totH        [nuca.NumCores]float64
+	horizon     [nuca.NumCores]float64 // last threshold with any hit mass
+}
+
+// inactiveIdx returns the index of the first atom still inactive at access
+// count n (ties count as active).
+func (cs *capSolve) inactiveIdx(c int, n float64) int {
+	a := cs.actN[c]
+	i := sort.SearchFloat64s(a, n)
+	for i < len(a) && a[i] <= n {
+		i++
+	}
+	return i
+}
+
+// extraAt returns the transient excess miss ratio of core c at L2-access
+// count n.
+func (cs *capSolve) extraAt(c int, n float64) float64 {
+	if len(cs.actN[c]) == 0 || n >= cs.horizon[c] {
+		return 0
+	}
+	return cs.totH[c] - cs.preH[c][cs.inactiveIdx(c, n)]
+}
+
+// extraIntegral returns the exact integral of extra over [n0, n1] — the
+// expected transient excess misses across a segment spanning n1-n0
+// accesses.
+func (cs *capSolve) extraIntegral(c int, n0, n1 float64) float64 {
+	a := cs.actN[c]
+	if len(a) == 0 || n1 <= n0 || n0 >= cs.horizon[c] {
+		return 0
+	}
+	i0 := cs.inactiveIdx(c, n0)
+	i1 := cs.inactiveIdx(c, n1)
+	// Atoms in [i0, i1) deactivate inside the segment: each contributes
+	// mass*hit * (actN - n0). Atoms >= i1 stay inactive the whole way:
+	// mass*hit * (n1 - n0).
+	mid := (cs.preHN[c][i1] - cs.preHN[c][i0]) - n0*(cs.preH[c][i1]-cs.preH[c][i0])
+	tail := (n1 - n0) * (cs.totH[c] - cs.preH[c][i1])
+	return mid + tail
+}
+
+// buildTransient fills core c's transient schedule from per-atom steady hit
+// probabilities.
+func (cs *capSolve) buildTransient(c int, p *profile, actN []float64, hit func(distAtom) float64) {
+	n := len(p.atoms)
+	cs.actN[c] = actN
+	preH := make([]float64, n+1)
+	preHN := make([]float64, n+1)
+	for i, a := range p.atoms {
+		h := a.mass * hit(a)
+		preH[i+1] = preH[i] + h
+		preHN[i+1] = preHN[i] + h*actN[i]
+		if h > 1e-12 {
+			cs.horizon[c] = actN[i]
+		}
+	}
+	cs.preH[c] = preH
+	cs.preHN[c] = preHN
+	cs.totH[c] = preH[n]
+}
+
+// hashedIterations is how many rate→miss→CPI rounds the shared-cache fixed
+// point runs. The model's rates converge geometrically; a fixed count keeps
+// the result deterministic and path-independent.
+const hashedIterations = 3
+
+// m2Quantum is the miss-ratio granularity of the replay cache. CPI is a
+// smooth function of the miss ratios, so evaluating it on a grid costs far
+// less than the accuracy envelope and bounds the number of micro-replays
+// per run.
+const m2Quantum = 0.02
+
+// transientCPIDiscount scales the cold-start transient's contribution to
+// the miss ratio the *replay* sees (miss counting always uses the full
+// transient integral). Cold-start misses walk contiguous fresh blocks into
+// still-empty queues, so they pipeline through banks and DRAM far better
+// than steady-state conflict misses; charging them at full steady latency
+// overstates warm-up time and, through the resume snap, every light core's
+// measured CPI.
+const transientCPIDiscount = 1.0
+
+// New builds a fast-path system over the same inputs as sim.New. It
+// rejects configurations whose semantics the interval model does not
+// reproduce (fault plans, PLRU victims, strict lookup, adaptive epochs) —
+// those campaigns must run at detailed fidelity.
+func New(cfg sim.Config, policy core.Policy, specs []trace.Spec) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) != nuca.NumCores {
+		return nil, fmt.Errorf("fastsim: need %d workload specs, got %d", nuca.NumCores, len(specs))
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("fastsim: nil policy")
+	}
+	switch {
+	case cfg.Faults != nil:
+		return nil, fmt.Errorf("fastsim: fault injection requires detailed fidelity")
+	case cfg.L2Replacement != cache.LRU:
+		return nil, fmt.Errorf("fastsim: non-LRU L2 replacement requires detailed fidelity")
+	case cfg.L2StrictLookup:
+		return nil, fmt.Errorf("fastsim: strict L2 lookup requires detailed fidelity")
+	case cfg.AdaptiveEpochs:
+		return nil, fmt.Errorf("fastsim: adaptive epochs require detailed fidelity")
+	}
+	s := &System{
+		cfg:       cfg,
+		policy:    policy,
+		capSolves: map[solveKey]*capSolve{},
+		replays:   map[uint64]*windowResult{},
+	}
+	// Profile passes are independent fixed-seed measurements, so build
+	// them concurrently; profileFor single-flights duplicates. The derived
+	// curves below stay sequential — their arithmetic order is part of the
+	// byte-stability contract.
+	profs := make([]*profile, len(specs))
+	profErrs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for c, spec := range specs {
+		wg.Add(1)
+		go func(c int, spec trace.Spec) {
+			defer wg.Done()
+			profs[c], profErrs[c] = profileFor(spec, cfg.BankSets, cfg.L1)
+		}(c, spec)
+	}
+	wg.Wait()
+	for _, err := range profErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for c := range specs {
+		p := profs[c]
+		s.profs = append(s.profs, p)
+		shape := make([]float64, cfg.Profiler.MaxWays+1)
+		for w := range shape {
+			shape[w] = p.missProjected(cfg.Profiler.Sets, w)
+		}
+		s.shapes[c] = shape
+		actN := make([]float64, len(p.atoms))
+		for i, a := range p.atoms {
+			actN[i] = p.accessesToSpan(a.depth * float64(p.setsM))
+		}
+		s.actN[c] = actN
+		sh := make([][]float64, cfg.Profiler.MaxWays+1)
+		for w := range sh {
+			pre := make([]float64, len(p.atoms)+1)
+			for i, a := range p.atoms {
+				pre[i+1] = pre[i] + a.mass*p.hitProjected(a, cfg.Profiler.Sets, w)
+			}
+			sh[w] = pre
+		}
+		s.curveSH[c] = sh
+	}
+	s.streams = buildStreams(cfg.Seed, s.profs)
+	s.nextEpoch = float64(cfg.EpochCycles)
+	if err := s.repartition(0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Policy returns the active policy.
+func (s *System) Policy() core.Policy { return s.policy }
+
+// Allocation returns the current physical allocation.
+func (s *System) Allocation() *core.Allocation { return s.alloc }
+
+// Epochs returns how many repartitionings have run (including the initial
+// one).
+func (s *System) Epochs() int { return s.epochs }
+
+// SetSimWorkers mirrors sim.System.SetSimWorkers. The interval model has
+// no intra-run event loop to parallelise, so every lane count runs the same
+// closed-form advancement; the knob is accepted (and ignored) so callers
+// can thread one option through both engines.
+func (s *System) SetSimWorkers(int) {}
+
+// l2Active reports whether core c emits any L2 traffic — the cores the
+// resume snap applies to (see RunContext).
+func (s *System) l2Active(c int) bool {
+	p := s.profs[c]
+	return p.gapP*(1-p.h1) > 0 && (len(p.atoms) > 0 || p.coldMass > 0 || p.memPerKI > 0)
+}
+
+// allocFingerprint hashes the physically observable allocation state.
+func allocFingerprint(a *core.Allocation) uint64 {
+	h := fnv.New64a()
+	var buf [2]byte
+	for b := 0; b < nuca.NumBanks; b++ {
+		for w := 0; w < nuca.WaysPerBank; w++ {
+			binary.LittleEndian.PutUint16(buf[:], uint16(a.WayOwners[b][w]))
+			h.Write(buf[:])
+		}
+	}
+	if a.Hashed {
+		h.Write([]byte{1})
+	}
+	return h.Sum64()
+}
+
+// repartition mirrors sim.System.repartition: read the (modelled) profiler
+// curves, feed miss-cost weights to feedback policies, run the policy,
+// validate and install the allocation, sample the closing window, decay the
+// profiler accumulators.
+func (s *System) repartition(now float64) error {
+	if s.curves == nil {
+		s.curves = make([]core.MissCurve, nuca.NumCores)
+	}
+	for c := 0; c < nuca.NumCores; c++ {
+		buf := s.curveBuf[c]
+		if buf == nil {
+			buf = make([]float64, len(s.shapes[c]))
+			s.curveBuf[c] = buf
+		}
+		// Transient correction at the epoch's midpoint access count: reuse
+		// still beyond the stream's footprint registers as a miss at every
+		// way count — in the real MSA profiler exactly as in the banks.
+		nMid := (s.lastRepartN[c] + s.l2Acc[c]) / 2
+		idx := sort.SearchFloat64s(s.actN[c], nMid)
+		for idx < len(s.actN[c]) && s.actN[c][idx] <= nMid {
+			idx++
+		}
+		for w := range buf {
+			pre := s.curveSH[c][w]
+			excess := pre[len(pre)-1] - pre[idx]
+			buf[w] = s.profA[c] * (s.shapes[c][w] + excess)
+		}
+		s.curves[c] = core.MissCurve(buf)
+		s.lastRepartN[c] = s.l2Acc[c]
+	}
+	if fp, ok := s.policy.(core.FeedbackPolicy); ok {
+		fp.SetFeedback(s.missCostWeights())
+	}
+	alloc, err := s.policy.Allocate(s.curves)
+	if err != nil {
+		return fmt.Errorf("fastsim: %s allocation failed: %w", s.policy.Name(), err)
+	}
+	if err := alloc.Validate(); err != nil {
+		return fmt.Errorf("fastsim: %s produced invalid allocation: %w", s.policy.Name(), err)
+	}
+	if s.rec != nil && s.alloc != nil {
+		s.sampleWindow(int64(math.Round(now)))
+		s.recordAllocEvents(alloc, s.alloc, len(s.rec.Samples), int64(math.Round(now)))
+	}
+	s.alloc = alloc
+	s.allocFP = allocFingerprint(alloc)
+	for c := 0; c < nuca.NumCores; c++ {
+		ring := s.rings[c][:0]
+		for b := 0; b < nuca.NumBanks; b++ {
+			for k := alloc.WaysIn(c, b); k > 0; k-- {
+				ring = append(ring, b)
+			}
+		}
+		s.rings[c] = ring
+	}
+	for c := range s.profA {
+		s.profA[c] *= 0.5
+		s.epochMissCyc[c], s.epochMissN[c] = 0, 0
+	}
+	s.epochs++
+	return nil
+}
+
+// missCostWeights mirrors sim.System.missCostWeights: per-core average miss
+// latency relative to the across-core mean; zero for cores with no misses.
+func (s *System) missCostWeights() []float64 {
+	avg := s.weights[:]
+	for c := range avg {
+		avg[c] = 0
+	}
+	var sum float64
+	var n int
+	for c := range avg {
+		if s.epochMissN[c] > 0 {
+			avg[c] = s.epochMissCyc[c] / s.epochMissN[c]
+			sum += avg[c]
+			n++
+		}
+	}
+	if n == 0 {
+		return avg
+	}
+	mean := sum / float64(n)
+	for c := range avg {
+		if avg[c] > 0 {
+			avg[c] /= mean
+		}
+	}
+	return avg
+}
+
+// capacityFor computes (or returns the cached) capacity state for the
+// current allocation and active set: steady miss ratios plus the transient
+// schedule.
+func (s *System) capacityFor(active [nuca.NumCores]bool) *capSolve {
+	var mask uint8
+	for c, a := range active {
+		if a {
+			mask |= 1 << c
+		}
+	}
+	key := solveKey{s.allocFP, mask}
+	if cs, ok := s.capSolves[key]; ok {
+		return cs
+	}
+	cs := &capSolve{}
+	if !s.alloc.Hashed {
+		for c := 0; c < nuca.NumCores; c++ {
+			if !active[c] {
+				continue
+			}
+			var groups []int
+			total := 0
+			for b := 0; b < nuca.NumBanks; b++ {
+				if k := s.alloc.WaysIn(c, b); k > 0 {
+					groups = append(groups, k)
+					total += k
+				}
+			}
+			p := s.profs[c]
+			cs.m2[c] = p.missPartitioned(s.cfg.BankSets, groups)
+			if total > 0 {
+				g, t := groups, total
+				cs.buildTransient(c, p, s.actN[c], func(a distAtom) float64 {
+					return p.hitPartitioned(a, s.cfg.BankSets, g, t)
+				})
+			}
+		}
+	} else {
+		// Shared cache: per-core insertion rates depend on CPIs, which
+		// depend on miss ratios, which depend on rates. A fixed number of
+		// rounds from a fixed starting point keeps it deterministic.
+		rates := make([]float64, nuca.NumCores)
+		m2 := make([]float64, nuca.NumCores)
+		m2Prev := make([]float64, nuca.NumCores)
+		var cpi [nuca.NumCores]float64
+		for c := range cpi {
+			if active[c] {
+				cpi[c] = 2
+			}
+		}
+		for iter := 0; iter < hashedIterations; iter++ {
+			for c, p := range s.profs {
+				rates[c] = 0
+				if active[c] && cpi[c] > 0 {
+					rates[c] = p.gapP * (1 - p.h1) / cpi[c]
+				}
+			}
+			sharedMissRatios(s.profs, rates, m2Prev, s.cfg.BankSets, m2)
+			copy(m2Prev, m2)
+			copy(cs.m2[:], m2)
+			res := s.replayFor(cs.m2, active)
+			cpi = res.cpi
+		}
+		for c, p := range s.profs {
+			if !active[c] || len(p.atoms) == 0 {
+				continue
+			}
+			cc := c
+			cs.buildTransient(c, p, s.actN[c], func(a distAtom) float64 {
+				return hitShared(s.profs, cc, a, rates, m2Prev, s.cfg.BankSets)
+			})
+		}
+	}
+	s.capSolves[key] = cs
+	return cs
+}
+
+// replayFor returns the micro-replay CPI/miss-latency for the given miss
+// ratios (quantised to the replay grid) under the current allocation and
+// active set.
+func (s *System) replayFor(m2 [nuca.NumCores]float64, active [nuca.NumCores]bool) *windowResult {
+	var q [nuca.NumCores]float64
+	var mask uint8
+	for c := range m2 {
+		if active[c] {
+			mask |= 1 << c
+			q[c] = math.Round(m2[c]/m2Quantum) * m2Quantum
+			if q[c] < 0 {
+				q[c] = 0
+			}
+			if q[c] > 1 {
+				q[c] = 1
+			}
+		}
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], s.allocFP)
+	h.Write(buf[:])
+	h.Write([]byte{mask})
+	for c := range q {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(q[c]))
+		h.Write(buf[:])
+	}
+	key := h.Sum64()
+	if r, ok := s.replays[key]; ok {
+		return r
+	}
+	p := windowParams{active: active, m2: q, hashed: s.alloc.Hashed}
+	for c := 0; c < nuca.NumCores; c++ {
+		p.rings[c] = s.rings[c]
+		p.wbFrac[c] = s.profs[c].effWbFrac()
+		p.runLen[c] = s.profs[c].runLenAt(q[c])
+	}
+	r := s.replayWindow(p)
+	s.replays[key] = &r
+	return &r
+}
+
+// RunContext advances the system until every core has retired at least
+// `instructions` (a cumulative target, like sim.System.RunContext).
+//
+// Resume snap: when a run starts with cores at different local clocks (the
+// measurement run after a warm-up run ends with each core frozen at its own
+// finish time), every core with L2 traffic jumps to the latest frozen clock
+// before retiring anything. This mirrors the detailed engine exactly: the
+// shared DRAM-channel and link timelines sit at the warm-up frontier, so a
+// resumed core's first miss queues behind them and the ROB stalls the core
+// until that fill — a handful of instructions into the run. Measured CPI is
+// therefore (frontier - own warm-up finish + active cycles) / instructions,
+// which the golden detailed reports confirm.
+func (s *System) RunContext(ctx context.Context, instructions uint64) error {
+	tgt := float64(instructions)
+	for c := range s.finished {
+		s.finished[c] = s.instr[c] >= tgt
+	}
+	var frontier float64
+	for c := range s.clock {
+		if s.clock[c] > frontier {
+			frontier = s.clock[c]
+		}
+	}
+	for c := range s.clock {
+		if !s.finished[c] && s.l2Active(c) && s.clock[c] < frontier {
+			s.clock[c] = frontier
+		}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var active [nuca.NumCores]bool
+		anyActive := false
+		nowMin := math.Inf(1)
+		for c := range s.finished {
+			if s.finished[c] {
+				continue
+			}
+			active[c] = true
+			anyActive = true
+			if s.clock[c] < nowMin {
+				nowMin = s.clock[c]
+			}
+		}
+		if !anyActive {
+			return nil
+		}
+		cs := s.capacityFor(active)
+		// Effective miss ratios at the segment's starting access counts.
+		// The transient's lag over a segment is bounded by the subdivision
+		// rule below (a core's access count at most doubles per segment
+		// while its transient is still decaying).
+		var m2 [nuca.NumCores]float64
+		for c := range active {
+			if active[c] {
+				m2[c] = cs.m2[c] + transientCPIDiscount*cs.extraAt(c, s.l2Acc[c])
+			}
+		}
+		res := s.replayFor(m2, active)
+		// Segment length: up to the epoch boundary (fired when the least
+		// advanced active clock crosses it, like the min-clock scheduler),
+		// the earliest core finish, or a doubling of a still-transient
+		// core's access count.
+		dt := s.nextEpoch - nowMin
+		for c := range active {
+			if !active[c] {
+				continue
+			}
+			cpi := res.cpi[c]
+			if cpi <= 0 {
+				cpi = 1 / float64(s.cfg.CPU.Width)
+			}
+			if dtF := (tgt - s.instr[c]) * cpi; dtF < dt {
+				dt = dtF
+			}
+			p := s.profs[c]
+			if aps := p.gapP * (1 - p.h1); aps > 0 && s.l2Acc[c] < cs.horizon[c] {
+				dn := s.l2Acc[c]
+				if dn < 256 {
+					dn = 256
+				}
+				if dtT := dn / aps * cpi; dtT < dt {
+					dt = dtT
+				}
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		for c := range active {
+			if !active[c] {
+				continue
+			}
+			cpi := res.cpi[c]
+			if cpi <= 0 {
+				cpi = 1 / float64(s.cfg.CPU.Width)
+			}
+			di := dt / cpi
+			p := s.profs[c]
+			a1 := di * p.gapP
+			a2 := a1 * (1 - p.h1)
+			n0 := s.l2Acc[c]
+			m := a2*cs.m2[c] + cs.extraIntegral(c, n0, n0+a2)
+			s.instr[c] += di
+			s.clock[c] += dt
+			s.l1Acc[c] += a1
+			s.l2Acc[c] += a2
+			s.l2Miss[c] += m
+			s.profA[c] += a2
+			s.epochMissCyc[c] += m * res.missLat[c]
+			s.epochMissN[c] += m
+		}
+		for c := range active {
+			if active[c] && s.instr[c] >= tgt-1e-6 {
+				s.instr[c] = tgt
+				s.finished[c] = true
+			}
+		}
+		if nowMin+dt >= s.nextEpoch-1e-6 {
+			still := false
+			for c := range s.finished {
+				if !s.finished[c] {
+					still = true
+					break
+				}
+			}
+			if still {
+				now := nowMin + dt
+				if err := s.repartition(now); err != nil {
+					return err
+				}
+				s.nextEpoch = now + float64(s.cfg.EpochCycles)
+			}
+		}
+	}
+}
+
+// Run is RunContext without cancellation.
+func (s *System) Run(instructions uint64) error {
+	return s.RunContext(context.Background(), instructions)
+}
+
+func roundU(x float64) uint64 {
+	if x <= 0 {
+		return 0
+	}
+	return uint64(math.Round(x))
+}
+
+// ResetStats mirrors sim.System.ResetStats: snapshot the measurement-window
+// baselines and realign the observation layer.
+func (s *System) ResetStats() {
+	for c := 0; c < nuca.NumCores; c++ {
+		s.baseInstr[c] = roundU(s.instr[c])
+		s.baseCycles[c] = int64(math.Round(s.clock[c]))
+		s.baseL1[c] = roundU(s.l1Acc[c])
+		s.baseL2[c] = roundU(s.l2Acc[c])
+		s.baseMiss[c] = roundU(s.l2Miss[c])
+	}
+	if s.rec != nil {
+		s.rec.ResetSeries()
+		s.seedWindowBaselines()
+		s.recordAllocEvents(s.alloc, nil, 0, s.maxNow())
+	}
+}
+
+// EnableMetrics mirrors sim.System.EnableMetrics. The fast engine has no
+// per-component counters to register — its report's Metrics section carries
+// the engine-level gauges only, which is part of why fast reports are
+// distinct artifacts from detailed ones.
+func (s *System) EnableMetrics(rec *metrics.Recorder) *metrics.Recorder {
+	if rec == nil {
+		rec = metrics.NewRecorder()
+	}
+	s.rec = rec
+	rec.Registry.RegisterFunc("sim.epochs", func() float64 { return float64(s.epochs) })
+	rec.Registry.RegisterFunc("fastsim.capacity_solves", func() float64 { return float64(len(s.capSolves)) })
+	rec.Registry.RegisterFunc("fastsim.replays", func() float64 { return float64(len(s.replays)) })
+	s.seedWindowBaselines()
+	s.recordAllocEvents(s.alloc, nil, 0, s.maxNow())
+	return rec
+}
+
+// Observed returns the attached recorder (nil unless EnableMetrics ran).
+func (s *System) Observed() *metrics.Recorder { return s.rec }
+
+func (s *System) maxNow() int64 {
+	var t float64
+	for c := range s.clock {
+		if s.clock[c] > t {
+			t = s.clock[c]
+		}
+	}
+	return int64(math.Round(t))
+}
+
+func (s *System) seedWindowBaselines() {
+	for c := 0; c < nuca.NumCores; c++ {
+		s.winInstr[c] = roundU(s.instr[c])
+		s.winCycles[c] = int64(math.Round(s.clock[c]))
+		s.winL2[c] = roundU(s.l2Acc[c])
+		s.winMiss[c] = roundU(s.l2Miss[c])
+	}
+}
+
+// sampleWindow mirrors sim.System.sampleWindow.
+func (s *System) sampleWindow(now int64) {
+	cores := make([]metrics.CoreSample, nuca.NumCores)
+	active := false
+	for c := 0; c < nuca.NumCores; c++ {
+		instr := roundU(s.instr[c]) - s.winInstr[c]
+		cyc := int64(math.Round(s.clock[c])) - s.winCycles[c]
+		acc := roundU(s.l2Acc[c]) - s.winL2[c]
+		miss := roundU(s.l2Miss[c]) - s.winMiss[c]
+		cs := metrics.CoreSample{
+			Instructions: instr,
+			Cycles:       cyc,
+			L2Accesses:   acc,
+			L2Misses:     miss,
+			Ways:         s.alloc.Ways[c],
+		}
+		if acc > 0 {
+			cs.MissRate = float64(miss) / float64(acc)
+		}
+		if cyc > 0 {
+			cs.IPC = float64(instr) / float64(cyc)
+		}
+		if instr > 0 || acc > 0 {
+			active = true
+		}
+		cores[c] = cs
+	}
+	if !active {
+		return
+	}
+	s.seedWindowBaselines()
+	sample := metrics.EpochSample{
+		Epoch:         len(s.rec.Samples) + 1,
+		EndCycle:      now,
+		Cores:         cores,
+		BankOccupancy: s.bankOccupancy(),
+	}
+	s.rec.Samples = append(s.rec.Samples, sample)
+	if s.rec.OnSample != nil {
+		s.rec.OnSample(sample)
+	}
+}
+
+// bankOccupancy estimates resident lines per bank from each workload's
+// working-set function: a core's touched-block count, capped at its
+// partition capacity and spread over its banks proportionally to its ways.
+func (s *System) bankOccupancy() []int {
+	occ := make([]float64, nuca.NumBanks)
+	bankCap := float64(s.cfg.BankSets * nuca.WaysPerBank)
+	for c := 0; c < nuca.NumCores; c++ {
+		foot := s.profs[c].distinctAfter(s.l2Acc[c])
+		if s.alloc.Hashed {
+			share := foot / nuca.NumBanks
+			for b := range occ {
+				occ[b] += share
+			}
+			continue
+		}
+		ways := s.alloc.Ways[c]
+		if ways == 0 {
+			continue
+		}
+		partCap := float64(ways * s.cfg.BankSets)
+		if foot > partCap {
+			foot = partCap
+		}
+		for b := 0; b < nuca.NumBanks; b++ {
+			if k := s.alloc.WaysIn(c, b); k > 0 {
+				occ[b] += foot * float64(k) / float64(ways)
+			}
+		}
+	}
+	out := make([]int, nuca.NumBanks)
+	for b := range occ {
+		if occ[b] > bankCap {
+			occ[b] = bankCap
+		}
+		out[b] = int(math.Round(occ[b]))
+	}
+	return out
+}
+
+func (s *System) recordAllocEvents(next, old *core.Allocation, epoch int, cycle int64) {
+	for _, ch := range next.DiffFrom(old) {
+		s.rec.Events = append(s.rec.Events, metrics.PartitionEvent{
+			Epoch:    epoch,
+			Cycle:    cycle,
+			Policy:   s.policy.Name(),
+			Core:     ch.Core,
+			OldWays:  ch.OldWays,
+			NewWays:  ch.NewWays,
+			OldBanks: ch.OldBanks,
+			NewBanks: ch.NewBanks,
+		})
+	}
+}
+
+// Result mirrors sim.System.Result over the modelled trajectories.
+func (s *System) Result(workloads []string) sim.Result {
+	r := sim.Result{Policy: s.policy.Name(), Epochs: s.epochs}
+	var cpis []float64
+	for c := 0; c < nuca.NumCores; c++ {
+		inst := roundU(s.instr[c]) - s.baseInstr[c]
+		cyc := int64(math.Round(s.clock[c])) - s.baseCycles[c]
+		cr := sim.CoreResult{
+			Instructions: inst,
+			Cycles:       cyc,
+			L1Accesses:   roundU(s.l1Acc[c]) - s.baseL1[c],
+			L2Accesses:   roundU(s.l2Acc[c]) - s.baseL2[c],
+			L2Misses:     roundU(s.l2Miss[c]) - s.baseMiss[c],
+			Ways:         s.alloc.Ways[c],
+		}
+		if len(workloads) == nuca.NumCores {
+			cr.Workload = workloads[c]
+		}
+		if inst > 0 {
+			cr.CPI = float64(cyc) / float64(inst)
+			cpis = append(cpis, cr.CPI)
+		}
+		r.Cores[c] = cr
+		r.TotalL2Accesses += cr.L2Accesses
+		r.TotalL2Misses += cr.L2Misses
+	}
+	if r.TotalL2Accesses > 0 {
+		r.MissRatio = float64(r.TotalL2Misses) / float64(r.TotalL2Accesses)
+	}
+	var sum float64
+	for _, v := range cpis {
+		sum += v
+	}
+	if len(cpis) > 0 {
+		r.MeanCPI = sum / float64(len(cpis))
+	}
+	return r
+}
+
+// RunReport mirrors sim.System.RunReport.
+func (s *System) RunReport(name string, workloads []string) metrics.RunReport {
+	res := s.Result(workloads)
+	if name == "" {
+		name = res.Policy
+	}
+	rr := metrics.RunReport{
+		Name:      name,
+		Policy:    res.Policy,
+		Workloads: append([]string(nil), workloads...),
+		Epochs:    res.Epochs,
+		Totals: metrics.RunTotals{
+			L2Accesses: res.TotalL2Accesses,
+			L2Misses:   res.TotalL2Misses,
+			MissRatio:  res.MissRatio,
+			MeanCPI:    res.MeanCPI,
+		},
+	}
+	for c := 0; c < nuca.NumCores; c++ {
+		cr := res.Cores[c]
+		ct := metrics.CoreTotals{
+			Workload:     cr.Workload,
+			Instructions: cr.Instructions,
+			Cycles:       cr.Cycles,
+			L1Accesses:   cr.L1Accesses,
+			L2Accesses:   cr.L2Accesses,
+			L2Misses:     cr.L2Misses,
+			CPI:          cr.CPI,
+			Ways:         cr.Ways,
+		}
+		if cr.L2Accesses > 0 {
+			ct.MissRate = float64(cr.L2Misses) / float64(cr.L2Accesses)
+		}
+		if cr.Cycles > 0 {
+			ct.IPC = float64(cr.Instructions) / float64(cr.Cycles)
+		}
+		rr.Cores = append(rr.Cores, ct)
+	}
+	if s.rec != nil {
+		s.sampleWindow(s.maxNow())
+		rr.EpochSeries = append([]metrics.EpochSample(nil), s.rec.Samples...)
+		rr.PartitionEvents = append([]metrics.PartitionEvent(nil), s.rec.Events...)
+		rr.FaultEvents = append([]metrics.FaultEvent(nil), s.rec.Faults...)
+		rr.Metrics = s.rec.Registry.Snapshot()
+	}
+	return rr
+}

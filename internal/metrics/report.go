@@ -29,6 +29,11 @@ type Report struct {
 	Kind string `json:"kind"`
 	// Label is a free-form run identifier (CLI arguments, set name, ...).
 	Label string `json:"label,omitempty"`
+	// Fidelity records the execution engine behind the numbers when it is
+	// not the default cycle-accurate one (e.g. "fast" for the
+	// interval-model engine). Empty — and absent from the JSON — means
+	// detailed, so pre-fidelity reports keep their exact bytes.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Summary holds scalar campaign-level results keyed by metric name.
 	Summary map[string]float64 `json:"summary,omitempty"`
 	// Series holds named numeric series (miss-ratio curves, sorted Monte

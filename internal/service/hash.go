@@ -44,11 +44,16 @@ type canonicalSet struct {
 	Scale        string   `json:"scale"`
 	Instructions uint64   `json:"instructions"`
 	EpochCycles  int64    `json:"epochCycles"`
+	// Fidelity is present only for the fast engine: "" and "detailed"
+	// fold to the omitted field, so detailed specs keep their
+	// pre-fidelity hashes while fast specs land on distinct entries.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 type canonicalExperiments struct {
 	Scale        string `json:"scale"`
 	Instructions uint64 `json:"instructions"`
+	Fidelity     string `json:"fidelity,omitempty"`
 }
 
 type canonicalMonteCarlo struct {
@@ -63,6 +68,15 @@ func canonicalScale(scale string) string {
 	return scale
 }
 
+// canonicalFidelity folds "" and "detailed" to the empty string (omitted
+// from the canonical JSON — the pre-fidelity encoding) and keeps "fast".
+func canonicalFidelity(fidelity string) string {
+	if fidelity == "fast" {
+		return fidelity
+	}
+	return ""
+}
+
 // canonicalize projects a validated spec onto its canonical form.
 func canonicalize(spec JobSpec) canonicalSpec {
 	c := canonicalSpec{Kind: spec.Kind, Seed: spec.Seed, Observe: spec.Observe}
@@ -73,6 +87,7 @@ func canonicalize(spec JobSpec) canonicalSpec {
 			Scale:        canonicalScale(spec.Set.Scale),
 			Instructions: spec.Set.Instructions,
 			EpochCycles:  spec.Set.EpochCycles,
+			Fidelity:     canonicalFidelity(spec.Fidelity),
 		}
 		if sub.Instructions == 0 {
 			// Mirror runSet: a zero budget always selects the model-scale
@@ -90,6 +105,7 @@ func canonicalize(spec JobSpec) canonicalSpec {
 		c.Experiments = &canonicalExperiments{
 			Scale:        canonicalScale(spec.Experiments.Scale),
 			Instructions: spec.Experiments.Instructions,
+			Fidelity:     canonicalFidelity(spec.Fidelity),
 		}
 	case spec.MonteCarlo != nil:
 		def := montecarlo.DefaultConfig()

@@ -48,6 +48,18 @@ func TestSpecHashFoldsDefaults(t *testing.T) {
 			JobSpec{Kind: KindMonteCarlo, Seed: 2009, MonteCarlo: &MonteCarloSpec{Trials: 10}},
 		},
 		{
+			// Detailed hashes must not move when the fidelity field is
+			// spelled out: pre-fidelity caches stay valid.
+			"set empty fidelity is detailed",
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1}},
+			JobSpec{Kind: KindSet, Fidelity: "detailed", Set: &SetSpec{Set: 1}},
+		},
+		{
+			"experiments empty fidelity is detailed",
+			JobSpec{Kind: KindExperiments, Experiments: &ExperimentsSpec{Instructions: 500}},
+			JobSpec{Kind: KindExperiments, Fidelity: "detailed", Experiments: &ExperimentsSpec{Instructions: 500}},
+		},
+		{
 			"execution knobs are excluded",
 			JobSpec{Kind: KindMonteCarlo, Seed: 3, MonteCarlo: &MonteCarloSpec{Trials: 10}},
 			JobSpec{Kind: KindMonteCarlo, Seed: 3, Label: "x", Priority: 9, Workers: 4,
@@ -100,6 +112,19 @@ func TestSpecHashSeparatesResults(t *testing.T) {
 			"different kinds",
 			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1}},
 			JobSpec{Kind: KindExperiments, Experiments: &ExperimentsSpec{}},
+		},
+		{
+			// Fidelity is semantic, not an execution knob: a fast report
+			// must never be served from the detailed cache entry or vice
+			// versa.
+			"fast vs detailed set",
+			JobSpec{Kind: KindSet, Set: &SetSpec{Set: 1}},
+			JobSpec{Kind: KindSet, Fidelity: "fast", Set: &SetSpec{Set: 1}},
+		},
+		{
+			"fast vs detailed experiments",
+			JobSpec{Kind: KindExperiments, Experiments: &ExperimentsSpec{}},
+			JobSpec{Kind: KindExperiments, Fidelity: "fast", Experiments: &ExperimentsSpec{}},
 		},
 	}
 	for _, c := range cases {

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"bankaware/internal/experiments"
 	"bankaware/internal/metrics"
 )
 
@@ -113,6 +114,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := DecodeJobSpec(r.Body)
 	if err != nil {
+		// 422 for specs that decoded cleanly but describe an impossible
+		// job (e.g. an unknown fidelity); 400 for malformed bodies.
+		var verr *ValidationError
+		if errors.As(err, &verr) {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -456,6 +464,7 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"running":     running,
 		"ledger_root": led.Root(),
 		"ledger_len":  led.Len(),
+		"fidelities":  experiments.Fidelities(),
 	}
 	if last != nil {
 		out["last_scrub"] = last

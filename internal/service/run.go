@@ -102,6 +102,7 @@ func (s *Service) experimentOptions(jb *job) experiments.Options {
 		Seed:       jb.spec.Seed,
 		Observe:    jb.spec.Observe,
 		SimWorkers: jb.spec.SimWorkers,
+		Fidelity:   fidelityFor(jb.spec),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"bankaware/internal/experiments"
 	"bankaware/internal/nuca"
 	"bankaware/internal/trace"
 )
@@ -61,6 +62,13 @@ type JobSpec struct {
 	// only — byte-identical to a default Runner run. Live SSE epoch
 	// streaming works either way.
 	Observe bool `json:"observe,omitempty"`
+	// Fidelity selects the execution engine of simulation jobs: "detailed"
+	// (or empty) for the cycle-accurate simulator, "fast" for the
+	// interval-model fast path. Unlike the execution knobs above, fidelity
+	// changes what gets computed — fast and detailed submissions are
+	// distinct specs with distinct cache entries. Monte Carlo jobs (already
+	// analytic) reject a non-default fidelity.
+	Fidelity string `json:"fidelity,omitempty"`
 
 	Set         *SetSpec         `json:"set,omitempty"`
 	Experiments *ExperimentsSpec `json:"experiments,omitempty"`
@@ -127,6 +135,20 @@ func DecodeJobSpec(r io.Reader) (*JobSpec, error) {
 	return &spec, nil
 }
 
+// ValidationError marks a spec that decoded cleanly but describes an
+// impossible job. The HTTP layer maps it to 422 Unprocessable Entity
+// (distinct from 400 for bodies that are not even well-formed JSON).
+type ValidationError struct {
+	msg string
+}
+
+func (e *ValidationError) Error() string { return e.msg }
+
+// invalidSpec builds a ValidationError.
+func invalidSpec(format string, args ...any) error {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
 // Validate reports structural problems with the spec.
 func (s *JobSpec) Validate() error {
 	if s.TimeoutMS < 0 {
@@ -137,6 +159,10 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.SimWorkers < 0 {
 		return fmt.Errorf("simWorkers must be >= 0, got %d", s.SimWorkers)
+	}
+	fidelity, err := experiments.ParseFidelity(s.Fidelity)
+	if err != nil {
+		return invalidSpec("unknown fidelity %q (want detailed|fast)", s.Fidelity)
 	}
 	present := 0
 	for _, p := range []bool{s.Set != nil, s.Experiments != nil, s.MonteCarlo != nil} {
@@ -164,6 +190,9 @@ func (s *JobSpec) Validate() error {
 		}
 		if t := s.MonteCarlo.Trials; t < 0 || t > maxTrials {
 			return fmt.Errorf("trials must be in [0, %d], got %d", maxTrials, t)
+		}
+		if fidelity == experiments.FidelityFast {
+			return invalidSpec("montecarlo jobs are analytic and have no fidelity tiers")
 		}
 		return nil
 	case "":
@@ -209,4 +238,23 @@ func (s *SetSpec) validate() error {
 		return fmt.Errorf("set spec needs a Table III set number or 8 workloads")
 	}
 	return nil
+}
+
+// fidelityFor resolves a validated spec's execution fidelity.
+func fidelityFor(spec JobSpec) experiments.Fidelity {
+	f, err := experiments.ParseFidelity(spec.Fidelity)
+	if err != nil {
+		// Validate admits only parseable fidelities.
+		panic("service: unvalidated spec: " + err.Error())
+	}
+	return f
+}
+
+// fidelityStamp is the result/report fidelity tag of a spec: "fast" for
+// fast jobs, empty for detailed ones (whose bytes predate the field).
+func fidelityStamp(spec JobSpec) string {
+	if fidelityFor(spec) == experiments.FidelityFast {
+		return string(experiments.FidelityFast)
+	}
+	return ""
 }

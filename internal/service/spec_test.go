@@ -16,6 +16,10 @@ func TestDecodeJobSpecAccepts(t *testing.T) {
 		`{"kind":"experiments","label":"nightly","experiments":{"scale":"model","instructions":50000}}`,
 		`{"kind":"montecarlo","montecarlo":{}}`,
 		`{"kind":"montecarlo","seed":2009,"montecarlo":{"trials":1000}}`,
+		`{"kind":"set","fidelity":"fast","set":{"set":1}}`,
+		`{"kind":"set","fidelity":"detailed","set":{"set":1}}`,
+		`{"kind":"experiments","fidelity":"fast","experiments":{}}`,
+		`{"kind":"montecarlo","fidelity":"detailed","montecarlo":{}}`,
 	}
 	for _, body := range cases {
 		if _, err := DecodeJobSpec(strings.NewReader(body)); err != nil {
@@ -45,6 +49,8 @@ func TestDecodeJobSpecRejects(t *testing.T) {
 		{"negative workers", `{"kind":"montecarlo","workers":-1,"montecarlo":{}}`},
 		{"negative trials", `{"kind":"montecarlo","montecarlo":{"trials":-1}}`},
 		{"huge trials", `{"kind":"montecarlo","montecarlo":{"trials":2000000}}`},
+		{"unknown fidelity", `{"kind":"set","fidelity":"turbo","set":{"set":1}}`},
+		{"montecarlo fast", `{"kind":"montecarlo","fidelity":"fast","montecarlo":{}}`},
 		{"oversized", `{"kind":"montecarlo","label":"` + strings.Repeat("x", maxSpecBytes) + `","montecarlo":{}}`},
 	}
 	for _, tc := range cases {

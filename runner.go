@@ -50,6 +50,8 @@ func ProgressPrinter(w io.Writer, label string) ProgressFunc {
 
 // Detailed-simulation campaign surface (Figs. 8 and 9).
 type (
+	// Fidelity selects the execution engine of simulation campaigns.
+	Fidelity = experiments.Fidelity
 	// ExperimentScale selects the machine size for detailed simulations.
 	ExperimentScale = experiments.Scale
 	// SetResult is one Table III set evaluated under the three policies.
@@ -63,6 +65,18 @@ type (
 // (Table III), core 0 through core 7 — the sets RunSet and RunExperiments
 // evaluate.
 var TableIIISets = experiments.TableIIISets
+
+// Fidelity modes for WithFidelity.
+const (
+	// FidelityDetailed is the cycle-accurate event-driven engine.
+	FidelityDetailed = experiments.FidelityDetailed
+	// FidelityFast is the interval-model fast-path engine.
+	FidelityFast = experiments.FidelityFast
+)
+
+// ParseFidelity normalises a fidelity string ("" and "detailed" select the
+// detailed engine, "fast" the fast path).
+func ParseFidelity(s string) (Fidelity, error) { return experiments.ParseFidelity(s) }
 
 // Machine scales for RunExperiments.
 const (
@@ -98,6 +112,7 @@ type Runner struct {
 	jobTimeout time.Duration
 	checkpoint string
 	simWorkers int
+	fidelity   experiments.Fidelity
 }
 
 // RunnerOption configures a Runner (functional options).
@@ -139,6 +154,18 @@ func WithWorkers(n int) RunnerOption {
 // ignore it.
 func WithSimWorkers(n int) RunnerOption {
 	return func(r *Runner) { r.simWorkers = n }
+}
+
+// WithFidelity selects the execution engine behind the Runner's
+// detailed-simulation campaigns: FidelityDetailed (the default) runs the
+// cycle-accurate simulator, FidelityFast the interval-model fast path.
+// Unlike the execution knobs, fidelity changes what gets computed: fast
+// results approximate detailed ones within the committed accuracy
+// envelopes (see internal/fastsim/testdata) and the two fidelities are
+// distinct experiment specs — the service layer hashes them to separate
+// cache entries. Monte Carlo campaigns (already analytic) ignore it.
+func WithFidelity(f Fidelity) RunnerOption {
+	return func(r *Runner) { r.fidelity = f }
 }
 
 // WithProgress installs a hook receiving one Progress notification per job
@@ -227,6 +254,7 @@ func (r *Runner) experimentOptions() experiments.Options {
 		Faults:     r.faults,
 		Retries:    r.retries, RetryBackoff: r.backoff, JobTimeout: r.jobTimeout,
 		SimWorkers: r.simWorkers,
+		Fidelity:   r.fidelity,
 	}
 	if r.hasSeed {
 		opt.Seed = r.seed
